@@ -1,0 +1,84 @@
+// Command exoticgen compiles the mini-language (package hll) for one of the
+// three targets and runs the result on that target's simulator, reporting
+// the output stream, instruction count and cycle count. The flags ablate
+// the code generator's mechanisms, so the effect of exotic instructions,
+// constraint-satisfaction rewriting and register preferencing can be seen
+// directly.
+//
+//	exoticgen -target i8086 prog.x
+//	exoticgen -target vax -noexotic -list prog.x
+//	echo 'data 100 "hi"' | exoticgen -target ibm370 -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"extra/internal/codegen"
+	"extra/internal/hll"
+	"extra/internal/sim"
+)
+
+func main() {
+	target := flag.String("target", "i8086", "target machine: i8086, vax, ibm370")
+	noExotic := flag.Bool("noexotic", false, "disable exotic instructions (decompose everything)")
+	noRewrite := flag.Bool("norewrite", false, "disable constraint-satisfaction rewriting")
+	noRegPref := flag.Bool("noregpref", false, "disable the register-preference pass")
+	list := flag.Bool("list", false, "print the generated assembly")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: exoticgen [flags] FILE (or - for stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*target, flag.Arg(0), codegen.Options{
+		Exotic:    !*noExotic,
+		Rewriting: !*noRewrite,
+		RegPref:   !*noRegPref,
+	}, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "exoticgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, file string, opts codegen.Options, list bool) error {
+	var src []byte
+	var err error
+	if file == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	prog, err := hll.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	tg, err := codegen.For(target)
+	if err != nil {
+		return err
+	}
+	compiled, err := tg.Compile(prog, opts)
+	if err != nil {
+		return err
+	}
+	if list {
+		fmt.Printf("; %s, %d instructions\n%s\n", tg.ISA().Name, len(compiled.Code), sim.Listing(compiled.Code))
+	}
+	m, err := codegen.Run(tg, compiled, 1<<22)
+	if err != nil {
+		return err
+	}
+	for _, v := range m.Out {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr, "[%s: %d instructions, %d cycles]\n", tg.ISA().Name, len(compiled.Code), m.Cycles)
+	return nil
+}

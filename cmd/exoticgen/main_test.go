@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extra/internal/codegen"
+)
+
+func TestRunCompilesAndExecutes(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		old := os.Stdout
+		os.Stdout = devnull
+		defer func() { os.Stdout = old }()
+	}
+	src := "data 100 \"abcdef\"\nlet i = index 100 6 'd'\nprint i\n"
+	file := filepath.Join(t.TempDir(), "prog.x")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range codegen.Targets() {
+		for _, opts := range []codegen.Options{codegen.AllOn(), {}} {
+			if err := run(target, file, opts, true); err != nil {
+				t.Errorf("%s %+v: %v", target, opts, err)
+			}
+		}
+	}
+	if err := run("nope", file, codegen.AllOn(), false); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := run("i8086", filepath.Join(t.TempDir(), "absent.x"), codegen.AllOn(), false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.x")
+	os.WriteFile(bad, []byte("wibble"), 0o644)
+	if err := run("i8086", bad, codegen.AllOn(), false); err == nil {
+		t.Error("malformed program accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Command extra is the front door to the EXTRA reproduction: it prints the
+// paper's tables and figures, runs any of the analyses with full step
+// traces, and lists the transformation library.
+//
+//	extra survey              Table 1: the exotic instruction survey
+//	extra table2              Table 2: run all eleven analyses
+//	extra fig N               figures 1-5 (transformation demo, descriptions)
+//	extra analyze INS/OP      run one analysis and print the binding
+//	extra trace INS/OP        run one analysis and print every step
+//	extra failures            the movc3/sassign and Eclipse failure cases
+//	extra extensions          the beyond-paper analyses (extended mode)
+//	extra xforms [category]   the 75-transformation library
+//	extra desc NAME           print a corpus description (e.g. scasb, index)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"extra/internal/catalog"
+	"extra/internal/core"
+	"extra/internal/isps"
+	"extra/internal/langops"
+	"extra/internal/machines"
+	"extra/internal/proofs"
+	"extra/internal/transform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "extra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "survey":
+		return survey()
+	case "table2":
+		return table2()
+	case "fig":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: extra fig N (1-5)")
+		}
+		return figure(args[1])
+	case "analyze", "trace":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: extra %s INSTRUCTION/OPERATOR (e.g. scasb/index)", args[0])
+		}
+		return analyze(args[1], args[0] == "trace")
+	case "binding":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
+		}
+		return bindingJSON(args[1])
+	case "failures":
+		return failures()
+	case "extensions":
+		return extensions()
+	case "xforms":
+		cat := ""
+		if len(args) > 1 {
+			cat = args[1]
+		}
+		return xforms(cat)
+	case "desc":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: extra desc NAME")
+		}
+		return desc(args[1])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try: extra help)", args[0])
+}
+
+func usage() {
+	fmt.Println(`EXTRA — Exotic Instruction Transformational Analysis System
+(reproduction of Morgan & Rowe, SIGPLAN '82)
+
+  extra survey              Table 1: the exotic instruction survey
+  extra table2              Table 2: run all eleven analyses
+  extra fig N               figures 1-5
+  extra analyze INS/OP      run one analysis, print the binding
+  extra trace INS/OP        run one analysis, print every step
+  extra failures            the paper's failure cases
+  extra extensions          beyond-paper analyses (extended mode)
+  extra xforms [category]   the transformation library
+  extra binding INS/OP      emit the binding as the JSON compiler interface
+  extra desc NAME           print a corpus description`)
+}
+
+func survey() error {
+	rows, total := catalog.Table1()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Machine\tNumber of Exotic Instructions")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\n", r.Machine, r.Count)
+	}
+	fmt.Fprintf(w, "Total\t%d\n", total)
+	w.Flush()
+	fmt.Println("\nPer-machine repertoires (extra desc <mnemonic> for analyzed ones):")
+	for _, m := range catalog.Machines() {
+		fmt.Printf("\n%s:\n", m)
+		for _, in := range catalog.ByMachine(m) {
+			fmt.Printf("  %-8s %-12s %s\n", in.Mnemonic, in.Class, in.Summary)
+		}
+	}
+	return nil
+}
+
+func table2() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Machine\tInstruction\tLanguage\tOperation\tSteps\tElementary\tPaper")
+	for _, a := range proofs.Table2() {
+		_, b, err := a.Run()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %v", a.Instruction, a.Operator, err)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
+			a.Machine, a.Instruction, a.Language, a.Operation, b.Steps, b.Elementary, a.PaperSteps)
+	}
+	return w.Flush()
+}
+
+func figure(n string) error {
+	switch n {
+	case "1":
+		fmt.Println("Figure 1: the reverse conditional transformation.")
+		d := isps.MustParse(`demo.operation := begin
+** S **
+  exp<>, x: integer,
+  demo.execute := begin
+    input (exp);
+    if exp
+    then
+      x <- 1;
+    else
+      x <- 2;
+    end_if;
+    output (x);
+  end
+end`)
+		at, _ := isps.Find(d, func(nd isps.Node) bool { _, ok := nd.(*isps.IfStmt); return ok })
+		tr, err := transform.Get("if.reverse")
+		if err != nil {
+			return err
+		}
+		out, err := tr.Apply(d, at, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("before:")
+		fmt.Println(isps.Format(d))
+		fmt.Println("after:")
+		fmt.Println(isps.Format(out.Desc))
+		return nil
+	case "2":
+		fmt.Println("Figure 2: the Rigel index operator.")
+		fmt.Println(isps.Format(langops.Get("index")))
+		return nil
+	case "3":
+		fmt.Println("Figure 3: the Intel 8086 scasb instruction.")
+		fmt.Println(isps.Format(machines.Get("scasb")))
+		return nil
+	case "4", "5":
+		s, _, err := proofs.ScasbRigel().Run()
+		if err != nil {
+			return err
+		}
+		snaps := s.Snapshots()
+		if n == "4" {
+			fmt.Println("Figure 4: simplified scasb (rf=1, rfz=0, df=0), produced mechanically.")
+			fmt.Println(isps.Format(snaps["fig4"]))
+		} else {
+			fmt.Println("Figure 5: augmented scasb, produced mechanically.")
+			fmt.Println(isps.Format(snaps["fig5"]))
+		}
+		return nil
+	}
+	return fmt.Errorf("no figure %q (want 1-5)", n)
+}
+
+func findAnalysis(pair string) (*proofs.Analysis, error) {
+	parts := strings.Split(pair, "/")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("want INSTRUCTION/OPERATOR, e.g. scasb/index")
+	}
+	for _, a := range append(proofs.Table2(), proofs.Extensions()...) {
+		if a.Instruction == parts[0] && a.Operator == parts[1] {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("no analysis %s (try: extra table2)", pair)
+}
+
+func analyze(pair string, trace bool) error {
+	a, err := findAnalysis(pair)
+	if err != nil {
+		return err
+	}
+	s, b, err := a.Run()
+	if err != nil {
+		return err
+	}
+	if trace {
+		for _, st := range s.Steps {
+			loc := st.At.String()
+			if loc == "/" {
+				loc = "-"
+			}
+			fmt.Printf("%3d  %-11s %-24s %-14s %s\n", st.Index, st.Side, st.Xform, loc, st.Note)
+		}
+		fmt.Println()
+	}
+	fmt.Print(b.Describe())
+	n, err := core.ValidateBinding(b, a.Gen, 300, 1)
+	if err != nil {
+		return fmt.Errorf("differential validation FAILED: %v", err)
+	}
+	fmt.Printf("differential validation: operator and customized instruction agree on %d random inputs\n", n)
+	return nil
+}
+
+// bindingJSON runs an analysis and emits the compiler-interface document.
+func bindingJSON(pair string) error {
+	a, err := findAnalysis(pair)
+	if err != nil {
+		return err
+	}
+	_, b, err := a.Run()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func failures() error {
+	for _, f := range proofs.Failures() {
+		fmt.Printf("== %s\n", f.Name)
+		fmt.Printf("paper's diagnosis: %s\n", f.Paper)
+		err := f.Attempt()
+		fmt.Printf("reproduction: %v\n\n", err)
+	}
+	return nil
+}
+
+func extensions() error {
+	for _, a := range proofs.Extensions() {
+		fmt.Printf("== %s %s / %s %s (extended mode: %v)\n",
+			a.Machine, a.Instruction, a.Language, a.Operation, a.Extended)
+		_, b, err := a.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(b.Describe())
+		fmt.Println()
+	}
+	return nil
+}
+
+func xforms(cat string) error {
+	cats := map[string]transform.Category{
+		"local": transform.Local, "motion": transform.Motion, "loop": transform.Loop,
+		"global": transform.Global, "routine": transform.Routine,
+		"constraint": transform.Constraint, "augment": transform.Augment,
+	}
+	var list []*transform.Transformation
+	if cat == "" {
+		list = transform.All()
+	} else {
+		c, ok := cats[cat]
+		if !ok {
+			return fmt.Errorf("unknown category %q (want local/motion/loop/global/routine/constraint/augment)", cat)
+		}
+		list = transform.ByCategory(c)
+	}
+	for _, t := range list {
+		fmt.Printf("%-26s [%s]\n    %s\n", t.Name, t.Category, t.Doc)
+	}
+	fmt.Printf("\n%d transformations\n", len(list))
+	return nil
+}
+
+func desc(name string) error {
+	if d := machines.Get(name); d != nil {
+		fmt.Print(isps.Format(d))
+		return nil
+	}
+	if d := langops.Get(name); d != nil {
+		fmt.Print(isps.Format(d))
+		return nil
+	}
+	return fmt.Errorf("no description %q in the corpora", name)
+}

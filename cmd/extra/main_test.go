@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain silences the subcommands' stdout so test logs stay readable.
+func TestMain(m *testing.M) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err == nil {
+		os.Stdout = devnull
+	}
+	os.Exit(m.Run())
+}
+
+// TestCommandsRun smoke-tests every subcommand end to end (output goes to
+// the test process's stdout; correctness of the underlying data is covered
+// by the package tests — this guards the CLI wiring).
+func TestCommandsRun(t *testing.T) {
+	cases := [][]string{
+		{"survey"},
+		{"table2"},
+		{"fig", "1"},
+		{"fig", "2"},
+		{"fig", "3"},
+		{"fig", "4"},
+		{"fig", "5"},
+		{"analyze", "scasb/index"},
+		{"binding", "mvc/sassign"},
+		{"trace", "locc/indexc"},
+		{"failures"},
+		{"extensions"},
+		{"xforms"},
+		{"xforms", "loop"},
+		{"desc", "scasb"},
+		{"desc", "index"},
+		{"help"},
+		{},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("extra %v: %v", args, err)
+		}
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	cases := [][]string{
+		{"bogus"},
+		{"fig"},
+		{"fig", "9"},
+		{"analyze"},
+		{"analyze", "nosuch/pair"},
+		{"analyze", "malformed"},
+		{"binding"},
+		{"binding", "no/pair"},
+		{"xforms", "nocategory"},
+		{"desc", "nothing"},
+		{"desc"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("extra %v: expected an error", args)
+		}
+	}
+}

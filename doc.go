@@ -1,0 +1,13 @@
+// Package extra is a reproduction of Morgan & Rowe, "Analyzing Exotic
+// Instructions for a Retargetable Code Generator" (SIGPLAN '82): the EXTRA
+// transformational analysis system, its ISPS-like description language and
+// interpreter, the 75-transformation library, the eleven Table 2 analyses
+// with differential validation, the exotic-instruction survey of Table 1,
+// and a binding-driven retargetable code generator with cycle-costed
+// Intel 8086, VAX-11 and IBM 370 simulators.
+//
+// See README.md for the map, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The root package holds
+// only the benchmark harness (bench_test.go), one benchmark per table and
+// figure.
+package extra

@@ -1,0 +1,95 @@
+// Crossover: quantify the paper's motivation — "exotic instructions can
+// often perform operations in less time and space than an equivalent
+// sequence of primitive actions" (section 1) — by sweeping string lengths
+// and comparing cycle counts of exotic versus decomposed code on each
+// target simulator. The exotic instruction pays a setup cost (flag setting,
+// dedicated-register loads) and then wins per byte, so a crossover sits at
+// short lengths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"extra/internal/codegen"
+	"extra/internal/hll"
+)
+
+func cyclesFor(target string, src string, exotic bool) uint64 {
+	prog, err := hll.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg, err := codegen.For(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := tg.Compile(prog, codegen.Options{Exotic: exotic, Rewriting: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := codegen.Run(tg, compiled, 1<<23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Cycles
+}
+
+func main() {
+	lengths := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+	fmt.Println("String move: cycles for `move dst src N` (setup + per byte)")
+	fmt.Printf("%8s", "N")
+	for _, t := range codegen.Targets() {
+		fmt.Printf("  %14s  %14s  %7s", t+" exotic", t+" loop", "speedup")
+	}
+	fmt.Println()
+	for _, n := range lengths {
+		data := strings.Repeat("a", n)
+		src := fmt.Sprintf("data 1024 %q\nmove 8192 1024 %d", data, n)
+		fmt.Printf("%8d", n)
+		for _, t := range codegen.Targets() {
+			ex := cyclesFor(t, src, true)
+			lp := cyclesFor(t, src, false)
+			fmt.Printf("  %14d  %14d  %6.2fx", ex, lp, float64(lp)/float64(ex))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("String search: cycles for `index base N ch` with the character absent")
+	fmt.Println("(the search scans the whole string)")
+	fmt.Printf("%8s", "N")
+	for _, t := range codegen.Targets() {
+		fmt.Printf("  %14s  %14s  %7s", t+" exotic", t+" loop", "speedup")
+	}
+	fmt.Println()
+	for _, n := range lengths {
+		data := strings.Repeat("a", n)
+		src := fmt.Sprintf("data 1024 %q\nlet i = index 1024 %d 'z'\nprint i", data, n)
+		fmt.Printf("%8d", n)
+		for _, t := range codegen.Targets() {
+			ex := cyclesFor(t, src, true)
+			lp := cyclesFor(t, src, false)
+			fmt.Printf("  %14d  %14d  %6.2fx", ex, lp, float64(lp)/float64(ex))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Code size: instructions emitted for one `move` (space, not time)")
+	for _, t := range codegen.Targets() {
+		prog := hll.MustParse("data 1024 \"xyz\"\nmove 8192 1024 3")
+		tg, _ := codegen.For(t)
+		ex, err := tg.Compile(prog, codegen.Options{Exotic: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lp, err := tg.Compile(prog, codegen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s exotic %2d instructions, decomposed %2d\n", t, len(ex.Code), len(lp.Code))
+	}
+}

@@ -1,0 +1,55 @@
+// Failure: reproduce the analyses the paper's EXTRA could not perform
+// (sections 4.3 and 5), then resolve the first with this reproduction's
+// extended mode (predicate constraints — the paper's first direction for
+// future research).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extra/internal/core"
+	"extra/internal/isps"
+	"extra/internal/machines"
+	"extra/internal/proofs"
+)
+
+func main() {
+	fmt.Println("== VAX-11 movc3 (overlap-guarded move)")
+	fmt.Print(isps.Format(machines.Get("movc3")))
+	fmt.Println()
+	fmt.Println("Pascal strings cannot overlap, so movc3's direction guard is")
+	fmt.Println("irrelevant for sassign — but stating that needs the multi-operand")
+	fmt.Println("constraint (src + len <= dst) or (dst + len <= src).")
+	fmt.Println()
+
+	for _, f := range proofs.Failures() {
+		fmt.Printf("== Failure case: %s\n", f.Name)
+		fmt.Printf("paper: %s\n", f.Paper)
+		err := f.Attempt()
+		fmt.Printf("reproduction: %v\n\n", err)
+	}
+
+	fmt.Println("== Extended mode: movc3/sassign with a predicate constraint")
+	a := proofs.Movc3PascalExtended()
+	_, b, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b.Describe())
+	n, err := core.ValidateBinding(b, a.Gen, 400, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validated on %d non-overlapping random inputs\n\n", n)
+
+	fmt.Println("== Extension: the B4800 list search constraint from the paper's introduction")
+	a2 := proofs.B4800Lsearch()
+	_, b2, err := a2.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b2.Describe())
+	fmt.Println("The loff = 0 value constraint is the paper's storage-allocator")
+	fmt.Println("condition: the record's link field must be its first field.")
+}

@@ -1,0 +1,68 @@
+// Survey: regenerate the paper's Table 1 — the count of string and list
+// processing exotic instructions on six machines from six manufacturers —
+// from the per-instruction catalog, and break the 67 instructions down by
+// operation class.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"extra/internal/catalog"
+)
+
+func main() {
+	rows, total := catalog.Table1()
+	fmt.Println("Table 1: Exotic Instruction Statistics")
+	fmt.Printf("%-18s %s\n", "Machine", "Number of Exotic Instructions")
+	for _, r := range rows {
+		fmt.Printf("%-18s %d\n", r.Machine, r.Count)
+	}
+	fmt.Printf("%-18s %d\n\n", "Total", total)
+
+	byClass := map[catalog.Class]int{}
+	for _, in := range catalog.All() {
+		byClass[in.Class]++
+	}
+	var classes []string
+	for c := range byClass {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	fmt.Println("The same 67 instructions by operation class:")
+	for _, c := range classes {
+		fmt.Printf("  %-12s %2d", c, byClass[catalog.Class(c)])
+		for _, in := range catalog.ByClass(catalog.Class(c)) {
+			fmt.Printf("  %s/%s", shortMachine(in.Machine), in.Mnemonic)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Analyzed in this reproduction (paper Table 2 + extensions):")
+	for _, mn := range []string{"movs", "scas", "cmps", "movc3", "movc5", "locc", "cmpc3", "mvc", "lss", "cmv"} {
+		for _, in := range catalog.All() {
+			if in.Mnemonic == mn {
+				fmt.Printf("  %-8s %-16s %s\n", in.Mnemonic, in.Machine, in.Summary)
+			}
+		}
+	}
+}
+
+func shortMachine(m string) string {
+	switch m {
+	case "Intel 8086":
+		return "8086"
+	case "DG Eclipse":
+		return "eclipse"
+	case "Univac 1100":
+		return "1100"
+	case "IBM 370":
+		return "370"
+	case "Burroughs B4800":
+		return "b4800"
+	case "VAX-11":
+		return "vax"
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module extra
+
+go 1.22

@@ -1,0 +1,67 @@
+package catalog
+
+import "testing"
+
+// TestTable1MatchesPaper pins the derived counts to the paper's Table 1.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := map[string]int{
+		"Intel 8086":      6,
+		"DG Eclipse":      5,
+		"Univac 1100":     21,
+		"IBM 370":         7,
+		"Burroughs B4800": 16,
+		"VAX-11":          12,
+	}
+	rows, total := Table1()
+	if total != 67 {
+		t.Errorf("total = %d, want the paper's 67", total)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 machines", len(rows))
+	}
+	for _, r := range rows {
+		if want[r.Machine] != r.Count {
+			t.Errorf("%s: %d instructions, paper says %d", r.Machine, r.Count, want[r.Machine])
+		}
+	}
+}
+
+func TestCatalogEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, in := range All() {
+		key := in.Machine + "/" + in.Mnemonic
+		if seen[key] {
+			t.Errorf("duplicate entry %s", key)
+		}
+		seen[key] = true
+		if in.Summary == "" || in.Class == "" {
+			t.Errorf("%s: missing class or summary", key)
+		}
+	}
+}
+
+func TestByMachineAndClass(t *testing.T) {
+	vax := ByMachine("VAX-11")
+	if len(vax) != 12 {
+		t.Errorf("VAX-11 entries = %d", len(vax))
+	}
+	for i := 1; i < len(vax); i++ {
+		if vax[i-1].Mnemonic >= vax[i].Mnemonic {
+			t.Error("ByMachine not sorted")
+		}
+	}
+	if got := len(ByClass(ListSearch)); got != 2 {
+		t.Errorf("list search entries = %d, want 2 (both B4800)", got)
+	}
+	// Every analyzed instruction appears in the survey (the paper analyzed
+	// 8 of the 67; scas/movs/cmps cover the byte forms).
+	surveyed := map[string]bool{}
+	for _, in := range All() {
+		surveyed[in.Mnemonic] = true
+	}
+	for _, mn := range []string{"movs", "scas", "cmps", "movc3", "movc5", "locc", "cmpc3", "mvc"} {
+		if !surveyed[mn] {
+			t.Errorf("analyzed instruction %s missing from the survey", mn)
+		}
+	}
+}

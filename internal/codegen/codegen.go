@@ -1,0 +1,219 @@
+// Package codegen is the retargetable code generator of the paper's
+// section 6: it compiles the high-level internal form (package ir) for the
+// Intel 8086, VAX-11 and IBM 370, emitting an exotic instruction whenever
+// one of EXTRA's bindings covers the operator and the binding's constraints
+// can be satisfied or verified at compile time, and decomposing the
+// operator into a primitive loop otherwise.
+//
+// The three mechanisms the paper identifies are all here:
+//
+//   - bindings: each target consults the actual Binding objects produced by
+//     the proof scripts (package proofs) — their constraints gate emission,
+//     and the IBM 370 mvc emission applies the binding's coding constraint
+//     (length loaded minus one);
+//   - constraint satisfaction rewriting: an out-of-range or unverifiable
+//     length is rewritten into consecutive sub-moves that each satisfy the
+//     range constraint (65535 bytes on the VAX, 256 on the 370);
+//   - optimizations: a register-preference pass removes reloads of operands
+//     already sitting in an exotic instruction's dedicated registers, the
+//     paper's "intelligent register allocation" for cascaded string
+//     operations.
+package codegen
+
+import (
+	"fmt"
+	"sync"
+
+	"extra/internal/constraint"
+	"extra/internal/core"
+	"extra/internal/ir"
+	"extra/internal/proofs"
+	"extra/internal/sim"
+)
+
+// Options selects the generator's mechanisms, mainly so the benchmarks can
+// ablate them.
+type Options struct {
+	// Exotic enables exotic-instruction emission from bindings; without it
+	// every operator decomposes into a primitive loop.
+	Exotic bool
+	// Rewriting enables constraint-satisfaction rewriting (chunked moves).
+	Rewriting bool
+	// RegPref enables the redundant-operand-load elimination pass.
+	RegPref bool
+}
+
+// AllOn enables every mechanism.
+func AllOn() Options { return Options{Exotic: true, Rewriting: true, RegPref: true} }
+
+// DataSeg is a pre-initialized memory region.
+type DataSeg struct {
+	At    uint64
+	Bytes []byte
+}
+
+// Program is compiled code plus its data segments and variable layout.
+type Program struct {
+	Target  string
+	Code    []sim.Instr
+	Data    []DataSeg
+	VarAddr map[string]uint64
+}
+
+// Target compiles IR for one machine.
+type Target interface {
+	Name() string
+	Compile(p *ir.Prog, o Options) (*Program, error)
+	// ISA returns the matching simulator.
+	ISA() *sim.ISA
+}
+
+// For returns the named target ("i8086", "vax", "ibm370").
+func For(name string) (Target, error) {
+	switch name {
+	case "i8086":
+		return target8086{}, nil
+	case "vax":
+		return targetVAX{}, nil
+	case "ibm370":
+		return target370{}, nil
+	}
+	return nil, fmt.Errorf("codegen: unknown target %q", name)
+}
+
+// Targets lists the supported target names.
+func Targets() []string { return []string{"i8086", "vax", "ibm370"} }
+
+// Run loads a compiled program into a fresh machine and executes it.
+func Run(t Target, p *Program, maxSteps int) (*sim.Machine, error) {
+	m, err := sim.NewMachine(t.ISA(), p.Code)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range p.Data {
+		for i, b := range d.Bytes {
+			m.StoreByte(d.At+uint64(i), b)
+		}
+	}
+	if err := m.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// bindings caches the proof results so each compile does not re-run the
+// analyses. The code generator is a consumer of EXTRA's output, exactly as
+// the paper prescribes.
+var (
+	bindOnce sync.Once
+	bindMap  map[string]*core.Binding
+	bindErr  error
+)
+
+// Bindings returns the analysis results keyed "machine/instruction/operator"
+// (e.g. "Intel 8086/scasb/index").
+func Bindings() (map[string]*core.Binding, error) {
+	bindOnce.Do(func() {
+		bindMap = map[string]*core.Binding{}
+		all := append(proofs.Table2(), proofs.Extensions()...)
+		for _, a := range all {
+			_, b, err := a.Run()
+			if err != nil {
+				bindErr = fmt.Errorf("codegen: analysis %s/%s failed: %v", a.Instruction, a.Operator, err)
+				return
+			}
+			bindMap[a.Machine+"/"+a.Instruction+"/"+a.Operator] = b
+		}
+	})
+	return bindMap, bindErr
+}
+
+// binding fetches one binding or fails loudly: a missing binding is a
+// programming error, not a runtime condition.
+func binding(key string) (*core.Binding, error) {
+	bs, err := Bindings()
+	if err != nil {
+		return nil, err
+	}
+	b, ok := bs[key]
+	if !ok {
+		return nil, fmt.Errorf("codegen: no binding %q", key)
+	}
+	return b, nil
+}
+
+// rangeFor extracts the [min, max] range constraint for the named operand
+// from a binding (intersecting multiple ranges), returning ok=false when
+// the operand has no range constraint.
+func rangeFor(b *core.Binding, operand string) (min, max uint64, ok bool) {
+	min, max, ok = 0, ^uint64(0), false
+	for _, c := range b.Constraints {
+		if c.Operand != operand || c.Kind != constraint.Range {
+			continue
+		}
+		if c.Min > min {
+			min = c.Min
+		}
+		if c.Max < max {
+			max = c.Max
+		}
+		ok = true
+	}
+	return min, max, ok
+}
+
+// offsetFor extracts the coding-constraint delta for an operand (0 when
+// none): the compiler must load operand+delta into the instruction field.
+func offsetFor(b *core.Binding, operand string) int64 {
+	for _, c := range b.Constraints {
+		if c.Operand == operand && c.Kind == constraint.Offset {
+			return c.Delta
+		}
+	}
+	return 0
+}
+
+// emitter is the shared per-compilation state.
+type emitter struct {
+	code    []sim.Instr
+	data    []DataSeg
+	varAddr map[string]uint64
+	nlabel  int
+	opts    Options
+}
+
+func newEmitter(p *ir.Prog, frameBase uint64, slot uint64, o Options) *emitter {
+	e := &emitter{varAddr: map[string]uint64{}, opts: o}
+	for i, v := range p.Vars() {
+		e.varAddr[v] = frameBase + uint64(i)*slot
+	}
+	return e
+}
+
+func (e *emitter) emit(ins ...sim.Instr) { e.code = append(e.code, ins...) }
+
+func (e *emitter) label(prefix string) string {
+	e.nlabel++
+	return fmt.Sprintf("%s%d", prefix, e.nlabel)
+}
+
+func (e *emitter) dataSeg(at uint64, bytes []byte) {
+	e.data = append(e.data, DataSeg{At: at, Bytes: append([]byte(nil), bytes...)})
+}
+
+// userLabel namespaces front-end labels away from generated ones.
+func userLabel(name string) string { return "U_" + name }
+
+// constOK reports whether a constant operand satisfies the binding's range
+// for the named binding operand; variable operands satisfy it only when
+// varMax (the largest value a target variable can hold) fits the range.
+func constOK(b *core.Binding, operand string, v ir.Value, varMax uint64) bool {
+	min, max, ok := rangeFor(b, operand)
+	if !ok {
+		return true
+	}
+	if v.IsConst {
+		return v.Const >= min && v.Const <= max
+	}
+	return min == 0 && varMax <= max
+}

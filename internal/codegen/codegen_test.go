@@ -1,0 +1,323 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"extra/internal/hll"
+	"extra/internal/ir"
+	"extra/internal/sim"
+)
+
+// run compiles and executes a program, returning the machine.
+func run(t *testing.T, target string, p *ir.Prog, o Options) *sim.Machine {
+	t.Helper()
+	tg, err := For(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := tg.Compile(p, o)
+	if err != nil {
+		t.Fatalf("%s compile: %v", target, err)
+	}
+	m, err := Run(tg, prog, 1<<22)
+	if err != nil {
+		t.Fatalf("%s run: %v\n%s", target, err, sim.Listing(prog.Code))
+	}
+	return m
+}
+
+// checkAgainstRef compiles p for every target under the given options and
+// compares simulator output and memory effects with the IR reference run.
+func checkAgainstRef(t *testing.T, p *ir.Prog, o Options) {
+	t.Helper()
+	ref, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range Targets() {
+		m := run(t, target, p, o)
+		if fmt.Sprint(m.Out) != fmt.Sprint(ref.Out) {
+			t.Errorf("%s %+v: output %v, reference %v", target, o, m.Out, ref.Out)
+		}
+		// All memory the reference touched below the frame must agree.
+		for a, v := range ref.Mem {
+			if a < 0xF000 && m.LoadByte(a) != v {
+				t.Errorf("%s %+v: mem[%d] = %d, reference %d", target, o, m.LoadByte(a), a, v)
+			}
+		}
+	}
+}
+
+var allOptionCombos = []Options{
+	{},
+	{Exotic: true},
+	{Exotic: true, Rewriting: true},
+	{Exotic: true, Rewriting: true, RegPref: true},
+	{Exotic: true, RegPref: true},
+	{Rewriting: true, RegPref: true},
+}
+
+const quickstartSrc = `
+# search, move, compare, clear on a small string
+data 100 "exotic instructions"
+let i = index 100 19 'x'
+print i
+let j = index 100 19 'q'
+print j
+move 200 100 19
+let e = compare 100 200 19
+print e
+storeb 205 'X'
+let e2 = compare 100 200 19
+print e2
+clear 200 19
+let b = loadb 200
+print b
+let s = add i 10
+let d = sub s j
+print d
+`
+
+func TestGeneratedCodeMatchesReference(t *testing.T) {
+	p := hll.MustParse(quickstartSrc)
+	for _, o := range allOptionCombos {
+		checkAgainstRef(t, p, o)
+	}
+}
+
+func TestIndexListingShape(t *testing.T) {
+	// The section 4.1 listing: save start address, clear zf via cmp si 1,
+	// cld, repne scasb, branch, sub di,bx.
+	p := hll.MustParse("data 64 \"abc\"\nlet i = index 64 3 'b'\nprint i")
+	tg, _ := For("i8086")
+	prog, err := tg.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sim.Listing(prog.Code)
+	wants := []string{"mov bx, di", "mov si, #0", "cmp si, #1", "cld", "repne_scasb", "sub di, bx"}
+	pos := 0
+	for _, w := range wants {
+		i := strings.Index(text[pos:], w)
+		if i < 0 {
+			t.Fatalf("listing lacks %q in order:\n%s", w, text)
+		}
+		pos += i
+	}
+	m, err := Run(tg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Out) != 1 || m.Out[0] != 2 {
+		t.Errorf("index('b' in \"abc\") = %v, want [2]", m.Out)
+	}
+}
+
+func TestMvcCodingConstraintApplied(t *testing.T) {
+	// A 10-byte move must emit mvc with the encoded length 9 (Len-1).
+	p := hll.MustParse("data 64 \"0123456789\"\nmove 128 64 10")
+	tg, _ := For("ibm370")
+	prog, err := tg.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range prog.Code {
+		if in.Mn == "mvc" && in.Ops[0].Kind == sim.KImm && in.Ops[0].Imm == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no mvc with encoded length 9:\n%s", sim.Listing(prog.Code))
+	}
+}
+
+func TestMvcChunkingForLongConstants(t *testing.T) {
+	// 600 bytes exceed mvc's 256-byte range: the rewriting rule must emit
+	// consecutive mvcs (256+256+88), each applying the coding constraint.
+	var data strings.Builder
+	for i := 0; i < 600; i++ {
+		data.WriteByte(byte('a' + i%26))
+	}
+	src := fmt.Sprintf("data 1000 %q\nmove 4000 1000 600\nlet b = loadb 4599\nprint b", data.String())
+	p := hll.MustParse(src)
+	tg, _ := For("ibm370")
+	prog, err := tg.Compile(p, Options{Exotic: true, Rewriting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvcs := 0
+	for _, in := range prog.Code {
+		if in.Mn == "mvc" {
+			mvcs++
+		}
+	}
+	if mvcs != 3 {
+		t.Errorf("expected 3 chunked mvcs, found %d:\n%s", mvcs, sim.Listing(prog.Code))
+	}
+	checkAgainstRef(t, p, Options{Exotic: true, Rewriting: true})
+	// Without rewriting, the long constant falls back to the loop.
+	prog2, err := tg.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range prog2.Code {
+		if in.Mn == "mvc" {
+			t.Fatalf("rewriting disabled but mvc emitted:\n%s", sim.Listing(prog2.Code))
+		}
+	}
+}
+
+func TestVariableLengthUsesChunkLoopOnVAXAnd370(t *testing.T) {
+	// A variable length cannot be verified against the 16-bit (VAX) or
+	// 256-byte (370) range constraints; with rewriting on, the chunk loop
+	// still uses the exotic instruction.
+	src := "data 500 \"abcdefgh\"\nlet n = 8\nmove 700 500 n\nlet b = loadb 707\nprint b"
+	p := hll.MustParse(src)
+	for _, target := range []string{"vax", "ibm370"} {
+		tg, _ := For(target)
+		prog, err := tg.Compile(p, Options{Exotic: true, Rewriting: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exotic := false
+		for _, in := range prog.Code {
+			if in.Mn == "movc3" || in.Mn == "mvc" {
+				exotic = true
+			}
+		}
+		if !exotic {
+			t.Errorf("%s: variable-length move did not use the exotic chunk loop:\n%s",
+				target, sim.Listing(prog.Code))
+		}
+	}
+	checkAgainstRef(t, p, Options{Exotic: true, Rewriting: true})
+	checkAgainstRef(t, p, Options{Exotic: true}) // falls back to loops
+}
+
+func TestRegPrefRemovesRedundantLoads(t *testing.T) {
+	// Cascaded string operations: the second clear must not reload al or
+	// re-clear the direction flag (the paper's "additional loads of the
+	// registers are not necessary" for cascaded exotic instructions).
+	src := `data 64 "abcdef"
+move 200 64 6
+move 300 64 6
+clear 400 8
+clear 500 8
+let e = compare 200 300 6
+print e`
+	p := hll.MustParse(src)
+	tg, _ := For("i8086")
+	with, err := tg.Compile(p, Options{Exotic: true, RegPref: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := tg.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Code) >= len(without.Code) {
+		t.Errorf("register preference did not shrink the code: %d vs %d instructions",
+			len(with.Code), len(without.Code))
+	}
+	checkAgainstRef(t, p, Options{Exotic: true, RegPref: true})
+}
+
+func TestRandomProgramsAllTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 25; round++ {
+		p := randomProg(rng)
+		for _, o := range []Options{{}, {Exotic: true}, AllOn()} {
+			ref, err := p.RefRun()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, target := range Targets() {
+				m := run(t, target, p, o)
+				if fmt.Sprint(m.Out) != fmt.Sprint(ref.Out) {
+					t.Fatalf("round %d %s %+v: output %v, reference %v\nprogram:\n%s",
+						round, target, o, m.Out, ref.Out, p)
+				}
+			}
+		}
+	}
+}
+
+// randomProg builds a random straight-line program over two disjoint
+// buffers with searches, moves, compares, clears and byte peeks.
+func randomProg(rng *rand.Rand) *ir.Prog {
+	p := &ir.Prog{}
+	bufA, bufB := uint64(64), uint64(512)
+	n := uint64(1 + rng.Intn(14))
+	content := make([]byte, n)
+	for i := range content {
+		content[i] = byte('a' + rng.Intn(3))
+	}
+	p.Ins = append(p.Ins, ir.Ins{Op: ir.Data, At: bufA, Bytes: content})
+	for k := 0; k < 6; k++ {
+		switch rng.Intn(6) {
+		case 0:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Index, Dst: fmt.Sprintf("v%d", k),
+				Args: []ir.Value{ir.C(bufA), ir.C(n), ir.C(uint64('a' + rng.Intn(4)))}})
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Print, Args: []ir.Value{ir.V(fmt.Sprintf("v%d", k))}})
+		case 1:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Move,
+				Args: []ir.Value{ir.C(bufB), ir.C(bufA), ir.C(n)}})
+		case 2:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Compare, Dst: fmt.Sprintf("v%d", k),
+				Args: []ir.Value{ir.C(bufA), ir.C(bufB), ir.C(n)}})
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Print, Args: []ir.Value{ir.V(fmt.Sprintf("v%d", k))}})
+		case 3:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Clear,
+				Args: []ir.Value{ir.C(bufB), ir.C(uint64(rng.Intn(int(n) + 1)))}})
+		case 4:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.LoadB, Dst: fmt.Sprintf("v%d", k),
+				Args: []ir.Value{ir.C(bufA + uint64(rng.Intn(int(n))))}})
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.Print, Args: []ir.Value{ir.V(fmt.Sprintf("v%d", k))}})
+		case 5:
+			p.Ins = append(p.Ins, ir.Ins{Op: ir.StoreB,
+				Args: []ir.Value{ir.C(bufB + uint64(rng.Intn(int(n)+1))), ir.C(uint64(rng.Intn(256)))}})
+		}
+	}
+	return p
+}
+
+func TestExoticBeatsDecomposedInCycles(t *testing.T) {
+	// The paper's motivation (section 1): the exotic instruction performs
+	// the operation in less time than the equivalent primitive sequence.
+	var data strings.Builder
+	for i := 0; i < 64; i++ {
+		data.WriteByte('a')
+	}
+	src := fmt.Sprintf("data 64 %q\nmove 512 64 64\nlet e = compare 64 512 64\nprint e", data.String())
+	p := hll.MustParse(src)
+	for _, target := range Targets() {
+		exotic := run(t, target, p, Options{Exotic: true, Rewriting: true})
+		plain := run(t, target, p, Options{})
+		if exotic.Cycles >= plain.Cycles {
+			t.Errorf("%s: exotic %d cycles >= decomposed %d cycles", target, exotic.Cycles, plain.Cycles)
+		}
+	}
+}
+
+func TestHLLParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus 1 2",
+		"let 9x = 5",
+		"let x = frobnicate 1",
+		"move 1 2",             // wrong arity
+		"let x = y",            // y undefined
+		"data zz \"x\"",        // bad address
+		"data 10 unquoted",     // bad literal
+		"let x = index 1 2",    // wrong arity
+		"print 'too long lit'", // bad operand
+	}
+	for _, src := range cases {
+		if _, err := hll.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

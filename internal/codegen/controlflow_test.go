@@ -1,0 +1,256 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"extra/internal/hll"
+	"extra/internal/sim"
+)
+
+// tokenizer splits a comma-separated record by repeatedly applying the
+// index operator, copying each field out — cascaded exotic instructions
+// inside a loop, the paper's register-preference scenario, now expressible
+// with the front end's control flow.
+const tokenizerSrc = `
+data 100 "one,two,three,"
+let p = 100
+let remaining = 14
+let outp = 600
+label top
+ifz remaining done
+let i = index p remaining ','
+ifz i done
+let fieldlen = sub i 1
+move outp p fieldlen
+storeb 599 fieldlen        # remember the last field length
+let outp = add outp fieldlen
+storeb outp '/'
+let outp = add outp 1
+let p = add p i
+let remaining = sub remaining i
+goto top
+label done
+let f = loadb 599
+print f
+let b = loadb 600
+print b
+let s = loadb 604
+print s
+`
+
+func TestControlFlowTokenizer(t *testing.T) {
+	p := hll.MustParse(tokenizerSrc)
+	ref, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fields "one" "two" "three" copied as "one/two/three/": last field
+	// length 5, then 'o' at 600 and 't' at 604.
+	want := []uint64{5, 'o', 't'}
+	if fmt.Sprint(ref.Out) != fmt.Sprint(want) {
+		t.Fatalf("reference out = %v, want %v", ref.Out, want)
+	}
+	if got := string([]byte{ref.Mem[600], ref.Mem[601], ref.Mem[602], ref.Mem[603], ref.Mem[604]}); got != "one/t" {
+		t.Fatalf("reference memory = %q", got)
+	}
+	for _, o := range allOptionCombos {
+		checkAgainstRef(t, p, o)
+	}
+}
+
+func TestControlFlowCountdownLoop(t *testing.T) {
+	src := `
+let n = 5
+let sum = 0
+label top
+ifz n done
+let sum = add sum n
+let n = sub n 1
+goto top
+label done
+print sum
+`
+	p := hll.MustParse(src)
+	for _, o := range []Options{{}, AllOn()} {
+		checkAgainstRef(t, p, o)
+	}
+	ref, _ := p.RefRun()
+	if len(ref.Out) != 1 || ref.Out[0] != 15 {
+		t.Fatalf("sum = %v", ref.Out)
+	}
+}
+
+func TestControlFlowIfNZ(t *testing.T) {
+	src := `
+data 50 "ab"
+let e = compare 50 50 2
+ifnz e equal
+print 0
+goto end
+label equal
+print 1
+label end
+`
+	p := hll.MustParse(src)
+	for _, o := range []Options{{}, AllOn()} {
+		checkAgainstRef(t, p, o)
+	}
+}
+
+func TestControlFlowErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"goto nowhere", "undefined label"},
+		{"label a\nlabel a", "duplicate label"},
+		{"ifz 1", "needs an operand and a label"},
+		{"label", "needs a label name"},
+		{"label top\ngoto top", "non-terminating"},
+	}
+	for _, c := range cases {
+		p, err := hll.Parse(c.src)
+		if err == nil {
+			_, err = p.RefRun()
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestTranslateAllTargets runs the translate operator end to end: the 370
+// emits tr from its binding (with the length-minus-one coding constraint),
+// the 8086 loop uses xlat, and every target matches the reference run.
+func TestTranslateAllTargets(t *testing.T) {
+	// A ROT13-ish table: rotate lowercase letters by one.
+	table := make([]byte, 256)
+	for i := range table {
+		table[i] = byte(i)
+	}
+	for c := byte('a'); c <= 'z'; c++ {
+		table[c] = 'a' + (c-'a'+1)%26
+	}
+	src := fmt.Sprintf(`data 100 "hello"
+data 1024 %q
+xlate 100 1024 5
+let b0 = loadb 100
+print b0
+let b4 = loadb 104
+print b4
+`, table)
+	p := hll.MustParse(src)
+	ref, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Out[0] != 'i' || ref.Out[1] != 'p' {
+		t.Fatalf("reference out = %v", ref.Out)
+	}
+	for _, o := range allOptionCombos {
+		checkAgainstRef(t, p, o)
+	}
+	// The 370 emits tr with the encoded length 4.
+	tg, _ := For("ibm370")
+	prog, err := tg.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range prog.Code {
+		if in.Mn == "tr" && in.Ops[0].Kind == sim.KImm && in.Ops[0].Imm == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("370 did not emit tr with encoded length 4:\n%s", sim.Listing(prog.Code))
+	}
+	// The 8086 exotic path uses xlat.
+	tg2, _ := For("i8086")
+	prog2, err := tg2.Compile(p, Options{Exotic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xlat := false
+	for _, in := range prog2.Code {
+		if in.Mn == "xlat" {
+			xlat = true
+		}
+	}
+	if !xlat {
+		t.Error("8086 exotic translate did not use xlat")
+	}
+}
+
+// TestTranslateChunking: a 600-byte field exceeds tr's 256-byte range and
+// chunks under rewriting.
+func TestTranslateChunking(t *testing.T) {
+	table := make([]byte, 256)
+	for i := range table {
+		table[i] = byte(255 - i)
+	}
+	data := strings.Repeat("ab", 300)
+	src := fmt.Sprintf("data 2048 %q\ndata 8192 %q\nxlate 2048 8192 600\nlet b = loadb 2647\nprint b",
+		data, table)
+	p := hll.MustParse(src)
+	tg, _ := For("ibm370")
+	prog, err := tg.Compile(p, Options{Exotic: true, Rewriting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := 0
+	for _, in := range prog.Code {
+		if in.Mn == "tr" {
+			trs++
+		}
+	}
+	if trs < 2 {
+		t.Errorf("600-byte translate did not chunk (found %d tr)", trs)
+	}
+	checkAgainstRef(t, p, Options{Exotic: true, Rewriting: true})
+	checkAgainstRef(t, p, Options{Exotic: true})
+	checkAgainstRef(t, p, Options{})
+}
+
+// TestVAXVariableLengthsNotAssumed16Bit: VAX variables are 32 bits, so a
+// variable count can never be verified against a 16-bit length-field range
+// constraint — without rewriting the operator must decompose (regression:
+// the generator once assumed variables fit 16 bits).
+func TestVAXVariableLengthsNotAssumed16Bit(t *testing.T) {
+	src := "data 500 \"abcd\"\nlet n = 4\nclear 700 n\nlet e = compare 500 700 n\nprint e\nlet i = index 500 n 'c'\nprint i"
+	p := hll.MustParse(src)
+	tg, _ := For("vax")
+	prog, err := tg.Compile(p, Options{Exotic: true}) // no rewriting
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range prog.Code {
+		switch in.Mn {
+		case "movc5", "cmpc3", "locc":
+			t.Errorf("variable-length %s emitted without range verification:\n%s",
+				in.Mn, sim.Listing(prog.Code))
+		}
+	}
+	checkAgainstRef(t, p, Options{Exotic: true})
+	checkAgainstRef(t, p, Options{Exotic: true, Rewriting: true})
+}
+
+// TestIndexCharacterMasked: a character variable holding a value above 255
+// is masked to its byte in every path (exotic scasb masks al in hardware;
+// the decomposition loops must agree, as must the reference).
+func TestIndexCharacterMasked(t *testing.T) {
+	src := "data 100 \"xay\"\nlet c = 353\nlet i = index 100 3 c\nprint i" // 353 & 0xff == 'a'
+	p := hll.MustParse(src)
+	ref, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Out[0] != 2 {
+		t.Fatalf("reference = %v, want [2]", ref.Out)
+	}
+	for _, o := range []Options{{}, {Exotic: true}} {
+		checkAgainstRef(t, p, o)
+	}
+}

@@ -1,0 +1,54 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPredicateMatchesNative: the description-language evaluation of
+// the no-overlap predicate agrees with the native Go computation across
+// random operand values.
+func TestQuickPredicateMatchesNative(t *testing.T) {
+	c := NewPredicate("(src + len <= dst) or (dst + len <= src)", "")
+	f := func(src, dst uint16, ln uint8) bool {
+		s, d, n := uint64(src), uint64(dst), uint64(ln)
+		want := (s+n <= d) || (d+n <= s)
+		got, err := c.Satisfied(map[string]uint64{"src": s, "dst": d, "len": n})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRangeSatisfaction: range satisfaction is exactly the interval
+// test.
+func TestQuickRangeSatisfaction(t *testing.T) {
+	f := func(min, max, v uint32) bool {
+		lo, hi := uint64(min), uint64(max)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := NewRange("x", lo, hi, "")
+		got, err := c.Satisfied(map[string]uint64{"x": uint64(v)})
+		want := uint64(v) >= lo && uint64(v) <= hi
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBitsBound: NewBits(n) accepts exactly the n-bit values.
+func TestQuickBitsBound(t *testing.T) {
+	f := func(v uint32, bitsRaw uint8) bool {
+		bits := 1 + int(bitsRaw)%31
+		c := NewBits("x", bits, "")
+		got, err := c.Satisfied(map[string]uint64{"x": uint64(v)})
+		want := uint64(v) < (uint64(1) << uint(bits))
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

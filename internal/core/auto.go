@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"extra/internal/equiv"
+	"extra/internal/isps"
+	"extra/internal/transform"
+)
+
+// The paper's section 7 asks for "methods ... to structure the analysis and
+// to help the user in deciding how the analysis should proceed" and, in the
+// introduction, for a system "that operates with little or no user
+// intervention". AutoComplete is that mode for the tail of an analysis:
+// once a script has performed the steps that need insight (simplifications,
+// augments, coding constraints), the remaining gap to common form is often
+// a handful of semantics-preserving rewrites — and those can be found by
+// bounded search instead of a human.
+
+// autoMoves are the argument-free semantics-preserving transformations the
+// search may apply. Argument-bearing transformations (augments, operand
+// fixes, inductions) stay the script's job: they need the analyst's intent.
+var autoMoves = []string{
+	// reducing rewrites
+	"fold.add", "fold.sub", "fold.mul", "fold.div", "fold.compare",
+	"fold.not", "fold.logic",
+	"simplify.and.true", "simplify.and.false", "simplify.or.false",
+	"simplify.or.true", "simplify.xor.false", "simplify.not.not",
+	"simplify.add.zero", "simplify.sub.zero", "simplify.sub.self",
+	"simplify.mul.one", "simplify.mul.zero", "simplify.div.one",
+	"simplify.and.self", "simplify.or.self",
+	"if.true", "if.false", "if.same", "if.empty", "exit.false",
+	"rewrite.subeq", "rewrite.addsub.cancel", "rewrite.subadd.cancel",
+	"rewrite.not.rel", "rewrite.neg.neg", "rewrite.add.neg",
+	// shape-changing rewrites (their own inverses or nearly so; the
+	// visited-state set keeps the search from cycling)
+	"rewrite.commute.rel", "rewrite.eq.le.zero", "rewrite.ne.to.gt",
+	"rewrite.zero.lt", "if.reverse", "move.swap", "if.pull.common",
+	"loop.rotate.guarded", "loop.delete.dead", "exit.split", "exit.merge",
+}
+
+// autoStep is one candidate application found by the search.
+type autoStep struct {
+	side  Side
+	xform string
+	at    isps.Path
+}
+
+// AutoComplete searches for a sequence of argument-free preserving
+// transformations that brings the session's two descriptions into common
+// form, applying it to the session (each found step is recorded like a
+// scripted one). maxDepth bounds the sequence length and budget the number
+// of candidate states explored. It returns the number of steps found, or an
+// error when no completion exists within the bounds.
+func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
+	if _, err := equiv.CommonForm(s.Op, s.Ins); err == nil {
+		return 0, nil
+	}
+	type state struct {
+		op, ins *isps.Description
+		trail   []autoStep
+	}
+	start := state{op: s.Op, ins: s.Ins}
+	frontier := []state{start}
+	visited := map[string]bool{key(s.Op, s.Ins): true}
+	explored := 0
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		var next []state
+		for _, st := range frontier {
+			for _, cand := range autoCandidates(st.op, st.ins) {
+				if explored++; explored > budget {
+					return 0, fmt.Errorf("core: auto search exhausted its budget of %d states", budget)
+				}
+				newOp, newIns := st.op, st.ins
+				tr, err := transform.Get(cand.xform)
+				if err != nil {
+					return 0, err
+				}
+				d := st.ins
+				if cand.side == OpSide {
+					d = st.op
+				}
+				out, err := tr.Apply(d, cand.at, transform.Args{"dir": "down"})
+				if err != nil || len(out.Constraints) > 0 {
+					continue
+				}
+				if cand.side == OpSide {
+					newOp = out.Desc
+				} else {
+					newIns = out.Desc
+				}
+				k := key(newOp, newIns)
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				trail := append(append([]autoStep(nil), st.trail...), cand)
+				if _, err := equiv.CommonForm(newOp, newIns); err == nil {
+					// Replay the trail through the session so every step is
+					// validated and recorded as usual.
+					for _, mv := range trail {
+						if err := s.Apply(mv.side, mv.xform, mv.at, transform.Args{"dir": "down"}); err != nil {
+							return 0, fmt.Errorf("core: auto replay failed at %s: %v", mv.xform, err)
+						}
+					}
+					return len(trail), nil
+				}
+				next = append(next, state{op: newOp, ins: newIns, trail: trail})
+			}
+		}
+		frontier = next
+	}
+	return 0, fmt.Errorf("core: no completion found within depth %d (%d states explored)", maxDepth, explored)
+}
+
+func key(op, ins *isps.Description) string {
+	return isps.Format(op) + "\x00" + isps.Format(ins)
+}
+
+// nodeKind classifies a node for the candidate prefilter.
+func nodeKind(n isps.Node) string {
+	switch n.(type) {
+	case *isps.Bin, *isps.Un:
+		return "expr"
+	case *isps.IfStmt:
+		return "if"
+	case *isps.ExitWhenStmt:
+		return "exit"
+	case *isps.RepeatStmt:
+		return "loop"
+	case *isps.AssignStmt, *isps.InputStmt, *isps.OutputStmt, *isps.AssertStmt:
+		return "stmt"
+	}
+	return ""
+}
+
+// moveKinds says at which node kinds each move can possibly apply, so the
+// search does not pay a full clone to discover an obvious mismatch.
+func moveKinds(name string) map[string]bool {
+	switch {
+	case name == "if.true", name == "if.false", name == "if.same",
+		name == "if.empty", name == "if.reverse", name == "if.pull.common":
+		return map[string]bool{"if": true}
+	case name == "exit.false", name == "exit.split", name == "exit.merge":
+		return map[string]bool{"exit": true}
+	case name == "loop.rotate.guarded":
+		return map[string]bool{"if": true}
+	case name == "loop.delete.dead":
+		return map[string]bool{"loop": true}
+	case name == "move.swap":
+		return map[string]bool{"stmt": true, "if": true, "loop": true, "exit": true}
+	default: // expression rewrites
+		return map[string]bool{"expr": true}
+	}
+}
+
+// autoCandidates enumerates the applicable moves of a state: it probes each
+// transformation at each node of the matching kind and keeps the applicable
+// ones in a deterministic order.
+func autoCandidates(op, ins *isps.Description) []autoStep {
+	var out []autoStep
+	for _, side := range []Side{OpSide, InsSide} {
+		d := ins
+		if side == OpSide {
+			d = op
+		}
+		byKind := map[string][]isps.Path{}
+		isps.Walk(d, func(n isps.Node, p isps.Path) bool {
+			if k := nodeKind(n); k != "" {
+				byKind[k] = append(byKind[k], append(isps.Path(nil), p...))
+			}
+			return true
+		})
+		for _, name := range autoMoves {
+			tr, err := transform.Get(name)
+			if err != nil {
+				continue
+			}
+			for kind := range moveKinds(name) {
+				for _, p := range byKind[kind] {
+					if _, err := tr.Apply(d, p, transform.Args{"dir": "down"}); err == nil {
+						out = append(out, autoStep{side: side, xform: name, at: p})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].xform != out[j].xform {
+			return out[i].xform < out[j].xform
+		}
+		return out[i].at.String() < out[j].at.String()
+	})
+	return out
+}

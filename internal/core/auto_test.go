@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"extra/internal/isps"
+	"extra/internal/transform"
+)
+
+// TestAutoCompleteFindsLocalRewrites: the operator differs from the
+// instruction by surface rewrites only (a commuted comparison and a <=
+// written for =); the search must find them without guidance.
+func TestAutoCompleteFindsLocalRewrites(t *testing.T) {
+	op := isps.MustParse(`cpy.operation := begin
+** S **
+  n: integer, a: integer, b: integer,
+  cpy.execute := begin
+    input (n, a, b);
+    repeat
+      exit_when (n <= 0);
+      Mb[b] <- Mb[a];
+      a <- a + 1;
+      b <- b + 1;
+      n <- n - 1;
+    end_repeat;
+  end
+end`)
+	ins := isps.MustParse(`blt.instruction := begin
+** S **
+  cnt: integer, src: integer, dst: integer,
+  blt.execute := begin
+    input (cnt, src, dst);
+    repeat
+      exit_when (0 = cnt);
+      Mb[dst] <- Mb[src];
+      src <- src + 1;
+      dst <- dst + 1;
+      cnt <- cnt - 1;
+    end_repeat;
+  end
+end`)
+	s, err := NewSession(op, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.AutoComplete(3, 50000)
+	if err != nil {
+		t.Fatalf("AutoComplete: %v\nop:\n%s\nins:\n%s", err, isps.Format(s.Op), isps.Format(s.Ins))
+	}
+	if n == 0 {
+		t.Fatal("descriptions were already matching?")
+	}
+	t.Logf("found %d steps automatically", n)
+	b, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.VarMap["n"] != "cnt" || b.VarMap["a"] != "src" {
+		t.Errorf("binding = %v", b.VarMap)
+	}
+}
+
+// TestAutoCompleteFinishesMovc3Blkcpy: the paper's shortest Table 2
+// analysis needs only the epilogue drop from the script; the search finds
+// the remaining surface rewrites by itself (the paper's future-work item:
+// "a system that operates with little or no user intervention").
+func TestAutoCompleteFinishesMovc3Blkcpy(t *testing.T) {
+	s := newPairSession(t, "blkcpy", "movc3")
+	if err := s.Apply(InsSide, "augment.epilogue", nil, transform.Args{}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.AutoComplete(4, 200000)
+	if err != nil {
+		t.Fatalf("AutoComplete: %v", err)
+	}
+	t.Logf("auto found %d steps (the script needed 3 hand-picked ones)", n)
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompleteFinishesLsearch: after the loff = 0 operand fix (a
+// constraint the analyst must choose), the search finds the +0 fold alone.
+func TestAutoCompleteFinishesLsearch(t *testing.T) {
+	s := newPairSession(t, "lsearch", "lss")
+	if err := s.FixOperand(OpSide, "loff", 0); err != nil {
+		t.Fatal(err)
+	}
+	// FixOperand already normalizes, so zero or very few steps remain.
+	n, err := s.AutoComplete(2, 20000)
+	if err != nil {
+		t.Fatalf("AutoComplete: %v", err)
+	}
+	t.Logf("auto found %d steps", n)
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompleteReportsFailure: a pair needing an augment (not in the
+// search's move set) must fail with the budget report, not loop forever.
+func TestAutoCompleteReportsFailure(t *testing.T) {
+	s := newPairSession(t, "pindex", "locc")
+	_, err := s.AutoComplete(2, 2000)
+	if err == nil {
+		t.Fatal("search succeeded without the required augments")
+	}
+	if !strings.Contains(err.Error(), "budget") && !strings.Contains(err.Error(), "no completion") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// newPairSession builds a session from corpus names via the bench helper
+// tables in the proofs package; duplicated minimally here to avoid an
+// import cycle.
+func newPairSession(t *testing.T, opName, insName string) *Session {
+	t.Helper()
+	srcs := map[string]string{
+		"blkcpy": `blkcpy.operation := begin
+** S **
+  count: integer, from: integer, to: integer,
+  blkcpy.execute := begin
+    input (count, from, to);
+    if to > from
+    then
+      from <- from + count;
+      to <- to + count;
+      repeat
+        exit_when (count <= 0);
+        from <- from - 1;
+        to <- to - 1;
+        Mb[to] <- Mb[from];
+        count <- count - 1;
+      end_repeat;
+    else
+      repeat
+        exit_when (count <= 0);
+        Mb[to] <- Mb[from];
+        from <- from + 1;
+        to <- to + 1;
+        count <- count - 1;
+      end_repeat;
+    end_if;
+  end
+end`,
+		"movc3": `movc3.instruction := begin
+** S **
+  len<15:0>, src<31:0>, dst<31:0>,
+  movc3.execute := begin
+    input (len, src, dst);
+    if src < dst
+    then
+      src <- src + len;
+      dst <- dst + len;
+      repeat
+        exit_when (len = 0);
+        src <- src - 1;
+        dst <- dst - 1;
+        Mb[dst] <- Mb[src];
+        len <- len - 1;
+      end_repeat;
+    else
+      repeat
+        exit_when (len = 0);
+        Mb[dst] <- Mb[src];
+        src <- src + 1;
+        dst <- dst + 1;
+        len <- len - 1;
+      end_repeat;
+    end_if;
+    output (src, dst);
+  end
+end`,
+		"lsearch": `lsearch.operation := begin
+** S **
+  q: integer, loff: integer, koff: integer, kv: character,
+  lsearch.execute := begin
+    input (q, loff, koff, kv);
+    repeat
+      exit_when (q = 0);
+      exit_when (Mb[q + koff] = kv);
+      q <- Mb[q + loff];
+    end_repeat;
+    output (q);
+  end
+end`,
+		"lss": `lss.instruction := begin
+** S **
+  p<15:0>, koff<15:0>, kv<7:0>,
+  lss.execute := begin
+    input (p, koff, kv);
+    repeat
+      exit_when (p = 0);
+      exit_when (Mb[p + koff] = kv);
+      p <- Mb[p];
+    end_repeat;
+    output (p);
+  end
+end`,
+		"pindex": `pindex.operation := begin
+** S **
+  c: character, n: integer, p: integer, start: integer,
+  pindex.execute := begin
+    input (c, n, p);
+    start <- p;
+    repeat
+      exit_when (n = 0);
+      exit_when (Mb[p] = c);
+      p <- p + 1;
+      n <- n - 1;
+    end_repeat;
+    if n = 0
+    then
+      output (0);
+    else
+      output (p - start + 1);
+    end_if;
+  end
+end`,
+		"locc": `locc.instruction := begin
+** S **
+  r0<31:0>, r1<31:0>, char<7:0>,
+  locc.execute := begin
+    input (char, r0, r1);
+    repeat
+      exit_when (r0 = 0);
+      exit_when (Mb[r1] = char);
+      r1 <- r1 + 1;
+      r0 <- r0 - 1;
+    end_repeat;
+    output (r0, r1);
+  end
+end`,
+	}
+	s, err := NewSession(isps.MustParse(srcs[opName]), isps.MustParse(srcs[insName]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"extra/internal/constraint"
+	"extra/internal/isps"
+)
+
+// The paper's section 7 lists completing the compiler interface — "the
+// exact form of the information given to a retargetable code generation
+// system" — as future work. This file defines that form: a self-contained
+// JSON document carrying the binding's operand correspondence, constraints,
+// augments (as description-language source) and the customized instruction
+// description, which a code generator can load without running the
+// analysis.
+
+// bindingDoc is the serialized form of a Binding.
+type bindingDoc struct {
+	Machine     string            `json:"machine"`
+	Instruction string            `json:"instruction"`
+	Language    string            `json:"language"`
+	Operation   string            `json:"operation"`
+	Steps       int               `json:"steps"`
+	VarMap      map[string]string `json:"var_map"`
+	OpInputs    []string          `json:"operator_operands"`
+	InsInputs   []string          `json:"instruction_operands"`
+	Constraints []constraintDoc   `json:"constraints"`
+	Prologue    []string          `json:"prologue"`
+	Epilogue    []string          `json:"epilogue"`
+	Variant     string            `json:"variant_description"`
+	Operator    string            `json:"operator_description"`
+}
+
+type constraintDoc struct {
+	Kind    string `json:"kind"`
+	Operand string `json:"operand,omitempty"`
+	Val     uint64 `json:"value,omitempty"`
+	Min     uint64 `json:"min,omitempty"`
+	Max     uint64 `json:"max,omitempty"`
+	Delta   int64  `json:"delta,omitempty"`
+	Pred    string `json:"predicate,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// MarshalJSON serializes the binding as the compiler-interface document.
+func (b *Binding) MarshalJSON() ([]byte, error) {
+	doc := bindingDoc{
+		Machine:     b.Machine,
+		Instruction: b.Instruction,
+		Language:    b.Language,
+		Operation:   b.Operation,
+		Steps:       b.Steps,
+		VarMap:      b.VarMap,
+		OpInputs:    b.OpInputs,
+		InsInputs:   b.InsInputs,
+		Variant:     isps.Format(b.Variant),
+		Operator:    isps.Format(b.Operator),
+	}
+	for _, c := range b.Constraints {
+		doc.Constraints = append(doc.Constraints, constraintDoc{
+			Kind: c.Kind.String(), Operand: c.Operand, Val: c.Val,
+			Min: c.Min, Max: c.Max, Delta: c.Delta, Pred: c.Pred, Note: c.Note,
+		})
+	}
+	for _, s := range b.Prologue {
+		doc.Prologue = append(doc.Prologue, isps.StmtString(s))
+	}
+	for _, s := range b.Epilogue {
+		doc.Epilogue = append(doc.Epilogue, isps.StmtString(s))
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalJSON loads a binding back from the compiler-interface document.
+// The augment statements and descriptions are reparsed, so a loaded binding
+// supports the same validation and code-generation paths as a fresh one.
+func (b *Binding) UnmarshalJSON(data []byte) error {
+	var doc bindingDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	b.Machine = doc.Machine
+	b.Instruction = doc.Instruction
+	b.Language = doc.Language
+	b.Operation = doc.Operation
+	b.Steps = doc.Steps
+	b.VarMap = doc.VarMap
+	b.OpInputs = doc.OpInputs
+	b.InsInputs = doc.InsInputs
+	b.Constraints = nil
+	kinds := map[string]constraint.Kind{
+		"value": constraint.Value, "range": constraint.Range,
+		"offset": constraint.Offset, "predicate": constraint.Predicate,
+	}
+	for _, c := range doc.Constraints {
+		k, ok := kinds[c.Kind]
+		if !ok {
+			return fmt.Errorf("core: unknown constraint kind %q", c.Kind)
+		}
+		b.Constraints = append(b.Constraints, constraint.Constraint{
+			Kind: k, Operand: c.Operand, Val: c.Val, Min: c.Min, Max: c.Max,
+			Delta: c.Delta, Pred: c.Pred, Note: c.Note,
+		})
+	}
+	b.Prologue = nil
+	for _, src := range doc.Prologue {
+		s, err := isps.ParseStmt(src)
+		if err != nil {
+			return fmt.Errorf("core: bad prologue statement %q: %v", src, err)
+		}
+		b.Prologue = append(b.Prologue, s)
+	}
+	b.Epilogue = nil
+	for _, src := range doc.Epilogue {
+		s, err := isps.ParseStmt(src)
+		if err != nil {
+			return fmt.Errorf("core: bad epilogue statement %q: %v", src, err)
+		}
+		b.Epilogue = append(b.Epilogue, s)
+	}
+	var err error
+	b.Variant, err = isps.Parse(doc.Variant)
+	if err != nil {
+		return fmt.Errorf("core: bad variant description: %v", err)
+	}
+	b.Operator, err = isps.Parse(doc.Operator)
+	if err != nil {
+		return fmt.Errorf("core: bad operator description: %v", err)
+	}
+	return nil
+}

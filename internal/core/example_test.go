@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"extra/internal/core"
+	"extra/internal/isps"
+)
+
+// Example runs a miniature analysis end to end: an instruction with a mode
+// flag is simplified (the flag fixed to select the add form), proven
+// equivalent to an add operator, and the resulting binding carries the
+// value constraint the code generator must realize.
+func Example() {
+	op := isps.MustParse(`addop.operation := begin
+** S **
+  a: integer, b: integer,
+  addop.execute := begin
+    input (a, b);
+    output (a + b);
+  end
+end`)
+	ins := isps.MustParse(`axs.instruction := begin
+** S **
+  m<>, r: integer, s: integer,
+  axs.execute := begin
+    input (m, r, s);
+    if m
+    then
+      output (r - s);
+    else
+      output (r + s);
+    end_if;
+  end
+end`)
+	s, err := core.NewSession(op, ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Machine, s.Instruction = "Demo-1", "axs"
+	s.Language, s.Operation = "MiniLang", "add"
+
+	// Fix the mode flag: constraint.fix, constant propagation, dead-code
+	// removal and normalization, each a counted step.
+	if err := s.FixOperand(core.InsSide, "m", 0); err != nil {
+		log.Fatal(err)
+	}
+	b, err := s.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b.Describe())
+	// Output:
+	// Demo-1 axs implements MiniLang add (5 transformation steps, 5 elementary rewrites)
+	// operand binding:
+	//   a            -> r
+	//   b            -> s
+	// constraints:
+	//   m = 0  (operand fixed by simplification)
+}

@@ -1,0 +1,314 @@
+// Package core is the EXTRA analysis engine. A Session holds a language
+// operator description and an exotic instruction description; proof scripts
+// apply transformations from the library one step at a time (the paper's
+// user positioned a cursor and chose transformations; here the script plays
+// that role and the engine still validates every precondition). When the
+// two descriptions reach common form, Finish produces the Binding — the
+// (instruction, operator, constraints, augments) record a retargetable code
+// generator consumes (paper sections 3 and 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"extra/internal/constraint"
+	"extra/internal/equiv"
+	"extra/internal/isps"
+	"extra/internal/transform"
+)
+
+// Side selects which description a step transforms.
+type Side int
+
+// Sides of an analysis.
+const (
+	OpSide Side = iota
+	InsSide
+)
+
+func (s Side) String() string {
+	if s == OpSide {
+		return "operator"
+	}
+	return "instruction"
+}
+
+// Step records one transformation application.
+type Step struct {
+	Index       int
+	Side        Side
+	Xform       string
+	At          isps.Path
+	Args        transform.Args
+	Note        string
+	Constraints []constraint.Constraint
+}
+
+// ErrComplexConstraint is returned in classic mode when a transformation
+// introduces a multi-operand predicate constraint, reproducing the paper's
+// section 4.3 failure ("the current version of EXTRA has no ability to deal
+// with complicated constraints that involve more than one operand").
+var ErrComplexConstraint = errors.New(
+	"core: complicated constraints involving more than one operand are not representable (paper section 4.3); enable extended mode to accept predicate constraints")
+
+// Session is one analysis in progress.
+type Session struct {
+	Machine     string
+	Instruction string
+	Language    string
+	Operation   string
+
+	// Op and Ins are the current (transformed) descriptions.
+	Op, Ins *isps.Description
+	// OrigOp and OrigIns are the untouched inputs.
+	OrigOp, OrigIns *isps.Description
+	// Variant is the instruction description after its last simplifying or
+	// augmenting step: the customized instruction the code generator will
+	// emit. Verification-only transformations do not move it.
+	Variant *isps.Description
+	// OpVariant is the operator description after its last
+	// signature-changing step (operand reordering or an operand fixed by a
+	// source-level constraint); it is what validation executes against the
+	// instruction variant.
+	OpVariant *isps.Description
+
+	// Extended enables predicate constraints (the reproduction's
+	// future-work mode); classic EXTRA rejects them.
+	Extended bool
+
+	Steps []Step
+	// Elementary counts the paper-granularity rewrites: each step
+	// contributes its transformation's elementary edit count (at least 1).
+	Elementary  int
+	Constraints []constraint.Constraint
+	Prologue    []isps.Stmt
+	Epilogue    []isps.Stmt
+	// RemovedOutputs are the instruction's original result expressions
+	// replaced by the epilogue augment.
+	RemovedOutputs []isps.Expr
+
+	snapshots map[string]*isps.Description
+}
+
+// NewSession starts an analysis of instruction ins against operator op.
+func NewSession(op, ins *isps.Description) (*Session, error) {
+	for _, d := range []*isps.Description{op, ins} {
+		if err := isps.Validate(d); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{
+		Op:        op.CloneDesc(),
+		Ins:       ins.CloneDesc(),
+		OrigOp:    op.CloneDesc(),
+		OrigIns:   ins.CloneDesc(),
+		Variant:   ins.CloneDesc(),
+		OpVariant: op.CloneDesc(),
+		snapshots: map[string]*isps.Description{},
+	}, nil
+}
+
+// Desc returns the current description of the given side.
+func (s *Session) Desc(side Side) *isps.Description {
+	if side == OpSide {
+		return s.Op
+	}
+	return s.Ins
+}
+
+// Apply performs one transformation step. The transformation's
+// preconditions are checked by the library; the session additionally
+// enforces the constraint policy (classic vs extended) and that augments
+// only ever apply to the instruction.
+func (s *Session) Apply(side Side, name string, at isps.Path, args transform.Args) error {
+	tr, err := transform.Get(name)
+	if err != nil {
+		return err
+	}
+	if tr.Effect == transform.Augmenting && side == OpSide {
+		return fmt.Errorf("core: augments produce instruction variants; they cannot apply to the %s description", side)
+	}
+	out, err := tr.Apply(s.Desc(side), at, args)
+	if err != nil {
+		return err
+	}
+	for _, c := range out.Constraints {
+		if c.Kind == constraint.Predicate && !s.Extended {
+			return fmt.Errorf("%w (from %s: %s)", ErrComplexConstraint, name, c.Pred)
+		}
+	}
+	if err := isps.Validate(out.Desc); err != nil {
+		return fmt.Errorf("core: %s produced an invalid description: %v", name, err)
+	}
+	if side == OpSide {
+		s.Op = out.Desc
+		if tr.Effect != transform.Preserving {
+			s.OpVariant = out.Desc.CloneDesc()
+		}
+	} else {
+		s.Ins = out.Desc
+		if tr.Effect != transform.Preserving {
+			s.Variant = out.Desc.CloneDesc()
+		}
+	}
+	edits := out.Rewrites
+	if edits < 1 {
+		edits = 1
+	}
+	s.Elementary += edits
+	s.Constraints = append(s.Constraints, out.Constraints...)
+	s.Prologue = append(s.Prologue, out.Prologue...)
+	s.Epilogue = append(s.Epilogue, out.Epilogue...)
+	if len(out.RemovedOutputs) > 0 {
+		s.RemovedOutputs = out.RemovedOutputs
+	}
+	s.Steps = append(s.Steps, Step{
+		Index:       len(s.Steps) + 1,
+		Side:        side,
+		Xform:       name,
+		At:          append(isps.Path(nil), at...),
+		Args:        args,
+		Note:        out.Note,
+		Constraints: out.Constraints,
+	})
+	return nil
+}
+
+// MustApply is Apply for proof scripts that have already been verified to
+// hold; it converts an unexpected precondition failure into the error
+// return of the enclosing analysis.
+func (s *Session) MustApply(side Side, name string, at isps.Path, args transform.Args) error {
+	if err := s.Apply(side, name, at, args); err != nil {
+		return fmt.Errorf("core: step %d (%s on %s at %s): %w", len(s.Steps)+1, name, side, at, err)
+	}
+	return nil
+}
+
+// StepCount reports the number of transformation steps applied so far — the
+// quantity the paper's Table 2 records per analysis.
+func (s *Session) StepCount() int { return len(s.Steps) }
+
+// Snapshot stores a copy of the given side's current description under a
+// label; the paper's figures 4 and 5 are such intermediate stages.
+func (s *Session) Snapshot(label string, side Side) {
+	s.snapshots[label] = s.Desc(side).CloneDesc()
+}
+
+// Snapshots returns the labeled intermediate descriptions.
+func (s *Session) Snapshots() map[string]*isps.Description {
+	out := map[string]*isps.Description{}
+	for k, v := range s.snapshots {
+		out[k] = v.CloneDesc()
+	}
+	return out
+}
+
+// Binding is the analysis result handed to the retargetable code generator:
+// which instruction implements which operator, under which constraints,
+// with which prologue/epilogue augments (phrased over the instruction's
+// registers).
+type Binding struct {
+	Machine     string
+	Instruction string
+	Language    string
+	Operation   string
+
+	// VarMap maps operator variables to instruction registers.
+	VarMap map[string]string
+	// OpInputs and InsInputs are the positional operand lists of the
+	// matched descriptions (equal length; InsInputs[i] implements
+	// OpInputs[i]).
+	OpInputs  []string
+	InsInputs []string
+
+	Constraints []constraint.Constraint
+	Prologue    []isps.Stmt
+	Epilogue    []isps.Stmt
+	// RemovedOutputs are the instruction's original result expressions the
+	// epilogue augment replaced (empty when the outputs were kept).
+	RemovedOutputs []isps.Expr
+	Steps          int
+	// Elementary is the paper-granularity rewrite count (see
+	// Session.Elementary); Table 2's numbers are nearer this accounting.
+	Elementary int
+
+	// Variant is the simplified/augmented instruction description proven
+	// equivalent to the operator.
+	Variant *isps.Description
+	// Operator is the operator description with any operand reordering and
+	// source-level operand constraints applied (otherwise the original).
+	Operator *isps.Description
+}
+
+// Finish verifies the two descriptions are in common form and assembles the
+// binding. The width-induced range constraints from the match are added to
+// the constraints accumulated by the steps.
+func (s *Session) Finish() (*Binding, error) {
+	m, err := equiv.CommonForm(s.Op, s.Ins)
+	if err != nil {
+		return nil, err
+	}
+	b := &Binding{
+		Machine:     s.Machine,
+		Instruction: s.Instruction,
+		Language:    s.Language,
+		Operation:   s.Operation,
+		VarMap:      m.VarMap,
+		OpInputs:    s.Op.Inputs(),
+		InsInputs:   s.Ins.Inputs(),
+		Constraints: append(append([]constraint.Constraint{}, s.Constraints...), m.Constraints...),
+		Prologue:    cloneStmts(s.Prologue),
+		Epilogue:    cloneStmts(s.Epilogue),
+		Steps:       s.StepCount(),
+		Elementary:  s.Elementary,
+		Variant:     s.Variant.CloneDesc(),
+		Operator:    s.OpVariant.CloneDesc(),
+	}
+	for _, e := range s.RemovedOutputs {
+		b.RemovedOutputs = append(b.RemovedOutputs, e.Clone().(isps.Expr))
+	}
+	if len(b.OpInputs) != len(b.InsInputs) {
+		return nil, fmt.Errorf("core: matched descriptions have different operand counts (%d vs %d)",
+			len(b.OpInputs), len(b.InsInputs))
+	}
+	return b, nil
+}
+
+func cloneStmts(in []isps.Stmt) []isps.Stmt {
+	out := make([]isps.Stmt, len(in))
+	for i, s := range in {
+		out[i] = s.Clone().(isps.Stmt)
+	}
+	return out
+}
+
+// Describe renders the binding for humans: the paper's summary of an
+// analysis result.
+func (b *Binding) Describe() string {
+	out := fmt.Sprintf("%s %s implements %s %s (%d transformation steps, %d elementary rewrites)\n",
+		b.Machine, b.Instruction, b.Language, b.Operation, b.Steps, b.Elementary)
+	out += "operand binding:\n"
+	for i, op := range b.OpInputs {
+		out += fmt.Sprintf("  %-12s -> %s\n", op, b.InsInputs[i])
+	}
+	if len(b.Constraints) > 0 {
+		out += "constraints:\n"
+		for _, c := range b.Constraints {
+			out += "  " + c.String() + "\n"
+		}
+	}
+	if len(b.Prologue) > 0 {
+		out += "prologue augment:\n"
+		for _, s := range b.Prologue {
+			out += "  " + isps.StmtString(s) + "\n"
+		}
+	}
+	if len(b.Epilogue) > 0 {
+		out += "epilogue augment:\n"
+		for _, s := range b.Epilogue {
+			out += "  " + isps.StmtString(s) + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package dataflow computes the def/use, liveness and loop information that
+// the transformation library consults to decide whether a transformation
+// can be applied at a point (paper section 5: "the transformations
+// themselves utilize various types of data flow information that is used to
+// determine whether a transformation is valid at a particular point").
+package dataflow
+
+import (
+	"extra/internal/isps"
+)
+
+// MemName is the pseudo-resource standing for main memory Mb in effect
+// sets: any Mb read uses it, any Mb write may-defines it (never
+// must-defines it, because a byte store does not kill the rest of memory).
+const MemName = "Mb"
+
+// IOName is the pseudo-resource standing for the input/output streams:
+// input and output statements both may-define it, so no transformation
+// reorders them relative to one another.
+const IOName = "·io"
+
+// Effects summarizes what a node may read and write.
+//
+// MustDef is the set of names written on every execution path through the
+// node; it is the only set safe to use as a liveness kill set. MayUse and
+// MayDef over-approximate.
+type Effects struct {
+	MayUse  map[string]bool
+	MayDef  map[string]bool
+	MustDef map[string]bool
+}
+
+func newEffects() Effects {
+	return Effects{
+		MayUse:  map[string]bool{},
+		MayDef:  map[string]bool{},
+		MustDef: map[string]bool{},
+	}
+}
+
+// Union merges another effect summary into this one and returns it.
+func (e Effects) Union(o Effects) Effects {
+	for k := range o.MayUse {
+		e.MayUse[k] = true
+	}
+	for k := range o.MayDef {
+		e.MayDef[k] = true
+	}
+	for k := range o.MustDef {
+		e.MustDef[k] = true
+	}
+	return e
+}
+
+// seq composes effects of two nodes executed in sequence.
+func (e Effects) seq(o Effects) Effects {
+	return e.Union(o)
+}
+
+// branch composes effects of two alternative nodes: must-defs intersect.
+func branch(a, b Effects) Effects {
+	out := newEffects()
+	for k := range a.MayUse {
+		out.MayUse[k] = true
+	}
+	for k := range b.MayUse {
+		out.MayUse[k] = true
+	}
+	for k := range a.MayDef {
+		out.MayDef[k] = true
+	}
+	for k := range b.MayDef {
+		out.MayDef[k] = true
+	}
+	for k := range a.MustDef {
+		if b.MustDef[k] {
+			out.MustDef[k] = true
+		}
+	}
+	return out
+}
+
+// FuncMap builds the function-name table used for call-effect summaries.
+func FuncMap(d *isps.Description) map[string]*isps.FuncDecl {
+	m := map[string]*isps.FuncDecl{}
+	for _, f := range d.Funcs() {
+		m[f.Name] = f
+	}
+	return m
+}
+
+// NodeEffects computes the effect summary of any statement, block or
+// expression. Function calls contribute the callee's effects plus a use of
+// the callee's own name (its return slot).
+func NodeEffects(n isps.Node, funcs map[string]*isps.FuncDecl) Effects {
+	switch x := n.(type) {
+	case *isps.Ident:
+		e := newEffects()
+		e.MayUse[x.Name] = true
+		return e
+	case *isps.Num:
+		return newEffects()
+	case *isps.Mem:
+		e := NodeEffects(x.Addr, funcs)
+		e.MayUse[MemName] = true
+		return e
+	case *isps.Call:
+		e := newEffects()
+		if f, ok := funcs[x.Name]; ok {
+			e = e.Union(NodeEffects(f.Body, funcs))
+		}
+		// Reading the call's value reads the function's return slot.
+		e.MayUse[x.Name] = true
+		return e
+	case *isps.Un:
+		return NodeEffects(x.X, funcs)
+	case *isps.Bin:
+		return NodeEffects(x.X, funcs).seq(NodeEffects(x.Y, funcs))
+	case *isps.AssignStmt:
+		e := NodeEffects(x.RHS, funcs)
+		switch lhs := x.LHS.(type) {
+		case *isps.Ident:
+			e.MayDef[lhs.Name] = true
+			e.MustDef[lhs.Name] = true
+		case *isps.Mem:
+			e = e.seq(NodeEffects(lhs.Addr, funcs))
+			e.MayDef[MemName] = true
+		}
+		return e
+	case *isps.IfStmt:
+		cond := NodeEffects(x.Cond, funcs)
+		// The condition is always evaluated, so its definite call side
+		// effects stay definite.
+		return cond.seq(branch(NodeEffects(x.Then, funcs), NodeEffects(x.Else, funcs)))
+	case *isps.RepeatStmt:
+		e := NodeEffects(x.Body, funcs)
+		// A repeat body runs at least once, but an early exit_when can cut
+		// it short, so nothing in it is a definite def.
+		e.MustDef = map[string]bool{}
+		return e
+	case *isps.ExitWhenStmt:
+		return NodeEffects(x.Cond, funcs)
+	case *isps.AssertStmt:
+		return NodeEffects(x.Cond, funcs)
+	case *isps.InputStmt:
+		e := newEffects()
+		for _, name := range x.Names {
+			e.MayDef[name] = true
+			e.MustDef[name] = true
+		}
+		e.MayDef[IOName] = true
+		return e
+	case *isps.OutputStmt:
+		e := newEffects()
+		for _, ex := range x.Exprs {
+			e = e.seq(NodeEffects(ex, funcs))
+		}
+		e.MayDef[IOName] = true
+		return e
+	case *isps.Block:
+		e := newEffects()
+		for _, s := range x.Stmts {
+			e = e.seq(NodeEffects(s, funcs))
+		}
+		return e
+	}
+	return newEffects()
+}
+
+// Independent reports whether two statements may be reordered: neither may
+// write anything the other reads or writes, and neither transfers control
+// (exit_when). Memory and the i/o streams are modeled as pseudo-resources,
+// so two Mb writes, or an Mb write and an Mb read, are never independent.
+func Independent(a, b isps.Stmt, funcs map[string]*isps.FuncDecl) bool {
+	if _, ok := a.(*isps.ExitWhenStmt); ok {
+		return false
+	}
+	if _, ok := b.(*isps.ExitWhenStmt); ok {
+		return false
+	}
+	ea := NodeEffects(a, funcs)
+	eb := NodeEffects(b, funcs)
+	for k := range ea.MayDef {
+		if eb.MayUse[k] || eb.MayDef[k] {
+			return false
+		}
+	}
+	for k := range eb.MayDef {
+		if ea.MayUse[k] || ea.MayDef[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// UsesName reports whether name occurs as an identifier or call under n,
+// or as an input operand.
+func UsesName(n isps.Node, name string) bool {
+	found := false
+	isps.Walk(n, func(m isps.Node, _ isps.Path) bool {
+		switch x := m.(type) {
+		case *isps.Ident:
+			if x.Name == name {
+				found = true
+			}
+		case *isps.Call:
+			if x.Name == name {
+				found = true
+			}
+		case *isps.InputStmt:
+			for _, nm := range x.Names {
+				if nm == name {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// MayDefine reports whether executing n can write name.
+func MayDefine(n isps.Node, name string, funcs map[string]*isps.FuncDecl) bool {
+	return NodeEffects(n, funcs).MayDef[name]
+}
+
+// HasCalls reports whether any function call occurs under n.
+func HasCalls(n isps.Node) bool {
+	found := false
+	isps.Walk(n, func(m isps.Node, _ isps.Path) bool {
+		if _, ok := m.(*isps.Call); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ReadsMemory reports whether n contains an Mb read (writes do not count).
+func ReadsMemory(n isps.Node) bool {
+	found := false
+	isps.Walk(n, func(m isps.Node, _ isps.Path) bool {
+		switch x := m.(type) {
+		case *isps.Mem:
+			found = true
+		case *isps.AssignStmt:
+			// The LHS Mem of an assignment is a write; inspect only its
+			// address and the RHS.
+			if lhs, ok := x.LHS.(*isps.Mem); ok {
+				if ReadsMemory(lhs.Addr) || ReadsMemory(x.RHS) {
+					found = true
+				}
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// WritesMemory reports whether n contains an Mb write.
+func WritesMemory(n isps.Node, funcs map[string]*isps.FuncDecl) bool {
+	return NodeEffects(n, funcs).MayDef[MemName]
+}

@@ -1,0 +1,186 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"extra/internal/isps"
+)
+
+func parse(t *testing.T, src string) *isps.Description {
+	t.Helper()
+	d, err := isps.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const opSrc = `op.operation := begin
+** S **
+  Base: integer, Len: integer, ch: character, i: integer,
+  op.execute := begin
+    input (Base, Len, ch);
+    i <- 0;
+    repeat
+      exit_when (Len = 0);
+      exit_when (Mb[Base + i] = ch);
+      i <- i + 1;
+      Len <- Len - 1;
+    end_repeat;
+    output (i);
+  end
+end`
+
+const insSrc = `ins.instruction := begin
+** S **
+  di<15:0>, cx<15:0>, al<7:0>, idx<15:0>,
+  ins.execute := begin
+    input (di, cx, al);
+    idx <- 0;
+    repeat
+      exit_when (cx = 0);
+      exit_when (Mb[di + idx] = al);
+      idx <- idx + 1;
+      cx <- cx - 1;
+    end_repeat;
+    output (idx);
+  end
+end`
+
+func TestCommonFormMatch(t *testing.T) {
+	m, err := CommonForm(parse(t, opSrc), parse(t, insSrc))
+	if err != nil {
+		t.Fatalf("CommonForm: %v", err)
+	}
+	want := map[string]string{"Base": "di", "Len": "cx", "ch": "al", "i": "idx"}
+	for k, v := range want {
+		if m.VarMap[k] != v {
+			t.Errorf("VarMap[%s] = %s, want %s", k, m.VarMap[k], v)
+		}
+	}
+	// Width constraints: unbounded Base and Len bound to 16-bit registers.
+	text := ""
+	for _, c := range m.Constraints {
+		text += c.String() + "\n"
+	}
+	for _, operand := range []string{"Base", "Len"} {
+		if !strings.Contains(text, operand) {
+			t.Errorf("no range constraint on %s:\n%s", operand, text)
+		}
+	}
+	// ch (8 bits) fits al (8 bits): no constraint; i is not an operand.
+	if strings.Contains(text, "ch") || strings.Contains(text, " i ") {
+		t.Errorf("spurious constraints:\n%s", text)
+	}
+}
+
+func TestMismatchConstant(t *testing.T) {
+	other := strings.Replace(insSrc, "idx <- idx + 1;", "idx <- idx + 2;", 1)
+	_, err := CommonForm(parse(t, opSrc), parse(t, other))
+	if err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Errorf("err = %v, want constant mismatch", err)
+	}
+}
+
+func TestMismatchStructure(t *testing.T) {
+	other := strings.Replace(insSrc, "exit_when (cx = 0);", "exit_when (cx <> 0);", 1)
+	_, err := CommonForm(parse(t, opSrc), parse(t, other))
+	if err == nil {
+		t.Error("operator mismatch accepted")
+	}
+}
+
+func TestBijectionViolation(t *testing.T) {
+	// Two operator variables binding the same register must be rejected.
+	op := `op.operation := begin
+** S **
+  a: integer, b: integer,
+  op.execute := begin
+    input (a, b);
+    output (a + b);
+  end
+end`
+	ins := `ins.instruction := begin
+** S **
+  r: integer, s: integer,
+  ins.execute := begin
+    input (r, s);
+    output (r + r);
+  end
+end`
+	_, err := CommonForm(parse(t, op), parse(t, ins))
+	if err == nil || !strings.Contains(err.Error(), "bound to both") {
+		t.Errorf("err = %v, want bijection violation", err)
+	}
+	// And the reverse direction.
+	ins2 := strings.Replace(ins, "output (r + r);", "output (r + s);", 1)
+	op2 := strings.Replace(op, "output (a + b);", "output (a + a);", 1)
+	_, err = CommonForm(parse(t, op2), parse(t, ins2))
+	if err == nil || !strings.Contains(err.Error(), "bound to both") {
+		t.Errorf("reverse: err = %v, want bijection violation", err)
+	}
+}
+
+func TestArityMismatches(t *testing.T) {
+	shorterInput := strings.Replace(insSrc, "input (di, cx, al);", "input (di, cx);", 1)
+	if _, err := CommonForm(parse(t, opSrc), parse(t, shorterInput)); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+	moreOutputs := strings.Replace(insSrc, "output (idx);", "output (idx, cx);", 1)
+	if _, err := CommonForm(parse(t, opSrc), parse(t, moreOutputs)); err == nil {
+		t.Error("output arity mismatch accepted")
+	}
+	extraStmt := strings.Replace(insSrc, "idx <- 0;", "idx <- 0;\nidx <- 0;", 1)
+	if _, err := CommonForm(parse(t, opSrc), parse(t, extraStmt)); err == nil {
+		t.Error("block length mismatch accepted")
+	}
+}
+
+func TestRemainingCallsRejected(t *testing.T) {
+	op := `op.operation := begin
+** S **
+  x: integer,
+  f()<7:0> := begin
+    f <- Mb[x];
+  end
+  op.execute := begin
+    input (x);
+    output (f());
+  end
+end`
+	ins := strings.Replace(strings.Replace(op, "op.", "ins.", -1), "f()", "g()", -1)
+	ins = strings.Replace(ins, "f <- Mb[x]", "g <- Mb[x]", 1)
+	_, err := CommonForm(parse(t, op), parse(t, ins))
+	if err == nil || !strings.Contains(err.Error(), "inline") {
+		t.Errorf("err = %v, want inline-before-matching", err)
+	}
+}
+
+func TestWidthTruncationConstraint(t *testing.T) {
+	// A 32-bit operator variable bound to an 8-bit field needs a range
+	// constraint.
+	op := `op.operation := begin
+** S **
+  v<31:0>,
+  op.execute := begin
+    input (v);
+    output (v);
+  end
+end`
+	ins := `ins.instruction := begin
+** S **
+  f<7:0>,
+  ins.execute := begin
+    input (f);
+    output (f);
+  end
+end`
+	m, err := CommonForm(parse(t, op), parse(t, ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Constraints) != 1 || m.Constraints[0].Max != 255 {
+		t.Errorf("constraints = %v, want v <= 255", m.Constraints)
+	}
+}

@@ -1,0 +1,325 @@
+// Package gg is a Graham-Glanville-flavored table-driven instruction
+// selector. The paper's section 6 closes with "we are currently working on
+// interfacing EXTRA directly to the current version of the Graham-Glanville
+// retargetable code generator" (Graham82, Henry81); this package
+// demonstrates that interface: the target machine is described as a grammar
+// over a prefix-linearized internal form, instruction selection is pattern
+// matching driven by that table, special-case rules (increment for +1)
+// compete with general ones on cost, and a high-level operator rule carries
+// an EXTRA binding straight into the table — the grammar's `reg -> index
+// reg reg reg` production emits the scasb sequence of the paper's section
+// 4.1 listing.
+//
+// The published system compiled the grammar into SLR parsing tables
+// offline; this demonstration uses a goal-directed backtracking matcher
+// over the same prefix form, which keeps the grammar/table interface — the
+// part EXTRA feeds — identical while staying a few hundred lines.
+package gg
+
+import (
+	"fmt"
+	"strings"
+
+	"extra/internal/sim"
+)
+
+// Tree is a prefix-linearizable expression tree of the internal form.
+type Tree struct {
+	// Op is the operator: "+", "-", "deref", "index", ":=", "out",
+	// "const", "var".
+	Op string
+	// Val is the literal value for "const".
+	Val uint64
+	// Name is the variable name for "var" (and the target of ":=").
+	Name string
+	Kids []*Tree
+}
+
+// Const builds a literal leaf.
+func Const(v uint64) *Tree { return &Tree{Op: "const", Val: v} }
+
+// Var builds a variable leaf.
+func Var(name string) *Tree { return &Tree{Op: "var", Name: name} }
+
+// Op2 builds a binary node.
+func Op2(op string, a, b *Tree) *Tree { return &Tree{Op: op, Kids: []*Tree{a, b}} }
+
+// Op1 builds a unary node.
+func Op1(op string, a *Tree) *Tree { return &Tree{Op: op, Kids: []*Tree{a}} }
+
+// Assign builds "var := expr".
+func Assign(name string, e *Tree) *Tree { return &Tree{Op: ":=", Name: name, Kids: []*Tree{e}} }
+
+// Out builds an output statement.
+func Out(e *Tree) *Tree { return &Tree{Op: "out", Kids: []*Tree{e}} }
+
+// Tok is one symbol of the prefix linearization.
+type Tok struct {
+	Op   string
+	Val  uint64
+	Name string
+}
+
+// Linearize flattens a tree into Graham-Glanville prefix form.
+func Linearize(t *Tree) []Tok {
+	out := []Tok{{Op: t.Op, Val: t.Val, Name: t.Name}}
+	for _, k := range t.Kids {
+		out = append(out, Linearize(k)...)
+	}
+	return out
+}
+
+// PrefixString renders the linearization, e.g. ":= x + var y const 1".
+func PrefixString(toks []Tok) string {
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Op {
+		case "const":
+			parts = append(parts, fmt.Sprintf("%d", t.Val))
+		case "var":
+			parts = append(parts, t.Name)
+		case ":=":
+			parts = append(parts, ":="+t.Name)
+		default:
+			parts = append(parts, t.Op)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// SymKind discriminates grammar symbols.
+type SymKind int
+
+// Grammar symbol kinds.
+const (
+	// Term matches a terminal operator token.
+	Term SymKind = iota
+	// NonTerm matches a sub-derivation of the named nonterminal.
+	NonTerm
+	// ConstVal matches a "const" token with one specific value — the
+	// special-case hook (e.g. the literal 1 in the increment rule).
+	ConstVal
+	// AnyConst matches any "const" token and captures its value.
+	AnyConst
+	// AnyVar matches any "var" token and captures its name.
+	AnyVar
+)
+
+// Sym is one right-hand-side symbol.
+type Sym struct {
+	Kind SymKind
+	Op   string // Term: the operator
+	NT   string // NonTerm: the nonterminal
+	Val  uint64 // ConstVal: the required value
+}
+
+// T builds a terminal symbol.
+func T(op string) Sym { return Sym{Kind: Term, Op: op} }
+
+// N builds a nonterminal symbol.
+func N(nt string) Sym { return Sym{Kind: NonTerm, NT: nt} }
+
+// CV builds a specific-constant symbol.
+func CV(v uint64) Sym { return Sym{Kind: ConstVal, Val: v} }
+
+// AC matches any constant.
+func AC() Sym { return Sym{Kind: AnyConst} }
+
+// AV matches any variable.
+func AV() Sym { return Sym{Kind: AnyVar} }
+
+// Res is the result location of a matched sub-derivation: a register for
+// nonterminals, a captured value/name for leaf symbols.
+type Res struct {
+	Reg  string
+	Val  uint64
+	Name string
+}
+
+// Rule is one grammar production with its emission action.
+type Rule struct {
+	// LHS is the produced nonterminal ("reg" or "stmt").
+	LHS string
+	RHS []Sym
+	// Cost orders competing rules; lower wins when both derive the input.
+	Cost int
+	// Emit generates code. args holds one Res per RHS symbol (terminals
+	// get a zero Res). It returns the rule's own result location.
+	Emit func(g *Gen, args []Res) (Res, error)
+	// Name labels the rule in listings and errors.
+	Name string
+}
+
+// Gen is one code-generation run: the rule table, a register pool, and the
+// emitted instructions.
+type Gen struct {
+	rules  []Rule
+	byOp   map[string][]int // rules indexed by leading terminal
+	chains map[string][]int // rules whose RHS starts with a nonterminal
+	code   []sim.Instr
+	free   []string
+	nlabel int
+	// VarAddr maps variable names to memory slots.
+	VarAddr map[string]uint64
+}
+
+// NewGen builds a generator over a rule table and register pool.
+func NewGen(rules []Rule, pool []string, varAddr map[string]uint64) *Gen {
+	g := &Gen{
+		rules:   rules,
+		byOp:    map[string][]int{},
+		chains:  map[string][]int{},
+		free:    append([]string(nil), pool...),
+		VarAddr: varAddr,
+	}
+	for i, r := range rules {
+		switch r.RHS[0].Kind {
+		case Term:
+			g.byOp[r.LHS+"/"+r.RHS[0].Op] = append(g.byOp[r.LHS+"/"+r.RHS[0].Op], i)
+		case ConstVal, AnyConst:
+			g.byOp[r.LHS+"/const"] = append(g.byOp[r.LHS+"/const"], i)
+		case AnyVar:
+			g.byOp[r.LHS+"/var"] = append(g.byOp[r.LHS+"/var"], i)
+		case NonTerm:
+			g.chains[r.LHS] = append(g.chains[r.LHS], i)
+		}
+	}
+	return g
+}
+
+// Emit appends instructions.
+func (g *Gen) Emit(ins ...sim.Instr) { g.code = append(g.code, ins...) }
+
+// Label returns a fresh label.
+func (g *Gen) Label(prefix string) string {
+	g.nlabel++
+	return fmt.Sprintf("%s_%d", prefix, g.nlabel)
+}
+
+// Alloc takes a register from the pool.
+func (g *Gen) Alloc() (string, error) {
+	if len(g.free) == 0 {
+		return "", fmt.Errorf("gg: register pool exhausted")
+	}
+	r := g.free[len(g.free)-1]
+	g.free = g.free[:len(g.free)-1]
+	return r, nil
+}
+
+// Free returns a register to the pool.
+func (g *Gen) Free(reg string) {
+	if reg != "" {
+		g.free = append(g.free, reg)
+	}
+}
+
+// Code returns the emitted program.
+func (g *Gen) Code() []sim.Instr { return g.code }
+
+// GenStmt derives one statement tree from the "stmt" nonterminal.
+func (g *Gen) GenStmt(t *Tree) error {
+	toks := Linearize(t)
+	pos, _, err := g.match("stmt", toks, 0)
+	if err != nil {
+		return err
+	}
+	if pos != len(toks) {
+		return fmt.Errorf("gg: %d trailing symbols after statement %q", len(toks)-pos, PrefixString(toks))
+	}
+	return nil
+}
+
+// match derives `goal` from toks[pos:], returning the new position and the
+// result location. Rules are tried cheapest-first with backtracking: a
+// failed alternative's code is rolled back.
+func (g *Gen) match(goal string, toks []Tok, pos int) (int, Res, error) {
+	if pos >= len(toks) {
+		return 0, Res{}, fmt.Errorf("gg: input exhausted while deriving %s", goal)
+	}
+	key := goal + "/" + leadKey(toks[pos])
+	cands := append([]int(nil), g.byOp[key]...)
+	cands = append(cands, g.chains[goal]...)
+	// Cheapest first.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if g.rules[cands[j]].Cost < g.rules[cands[i]].Cost {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	// Report the failure of the most general (last-tried) alternative:
+	// special-case misses like "expects the constant 1" are routine.
+	var lastErr error
+	for _, ri := range cands {
+		mark := len(g.code)
+		freeMark := append([]string(nil), g.free...)
+		end, res, err := g.applyRule(ri, toks, pos)
+		if err == nil {
+			return end, res, nil
+		}
+		lastErr = err
+		g.code = g.code[:mark]
+		g.free = freeMark
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("gg: no rule derives %s from %q", goal, leadKey(toks[pos]))
+	}
+	return 0, Res{}, lastErr
+}
+
+func leadKey(t Tok) string {
+	switch t.Op {
+	case "const":
+		return "const"
+	case "var":
+		return "var"
+	default:
+		return t.Op
+	}
+}
+
+func (g *Gen) applyRule(ri int, toks []Tok, pos int) (int, Res, error) {
+	r := g.rules[ri]
+	args := make([]Res, len(r.RHS))
+	p := pos
+	for i, sym := range r.RHS {
+		switch sym.Kind {
+		case Term:
+			if p >= len(toks) || toks[p].Op != sym.Op {
+				return 0, Res{}, fmt.Errorf("gg: rule %s expects %q", r.Name, sym.Op)
+			}
+			args[i] = Res{Name: toks[p].Name, Val: toks[p].Val}
+			p++
+		case ConstVal:
+			if p >= len(toks) || toks[p].Op != "const" || toks[p].Val != sym.Val {
+				return 0, Res{}, fmt.Errorf("gg: rule %s expects the constant %d", r.Name, sym.Val)
+			}
+			args[i] = Res{Val: toks[p].Val}
+			p++
+		case AnyConst:
+			if p >= len(toks) || toks[p].Op != "const" {
+				return 0, Res{}, fmt.Errorf("gg: rule %s expects a constant", r.Name)
+			}
+			args[i] = Res{Val: toks[p].Val}
+			p++
+		case AnyVar:
+			if p >= len(toks) || toks[p].Op != "var" {
+				return 0, Res{}, fmt.Errorf("gg: rule %s expects a variable", r.Name)
+			}
+			args[i] = Res{Name: toks[p].Name}
+			p++
+		case NonTerm:
+			end, res, err := g.match(sym.NT, toks, p)
+			if err != nil {
+				return 0, Res{}, err
+			}
+			args[i] = res
+			p = end
+		}
+	}
+	res, err := r.Emit(g, args)
+	if err != nil {
+		return 0, Res{}, err
+	}
+	return p, res, nil
+}

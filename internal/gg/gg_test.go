@@ -1,0 +1,264 @@
+package gg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"extra/internal/sim"
+	"extra/internal/sim/i8086"
+)
+
+// evalTree is the reference semantics for expression trees (16-bit,
+// matching the 8086 target).
+func evalTree(t *Tree, vars map[string]uint64, mem map[uint64]byte) uint64 {
+	switch t.Op {
+	case "const":
+		return t.Val & 0xffff
+	case "var":
+		return vars[t.Name] & 0xffff
+	case "+":
+		return (evalTree(t.Kids[0], vars, mem) + evalTree(t.Kids[1], vars, mem)) & 0xffff
+	case "-":
+		return (evalTree(t.Kids[0], vars, mem) - evalTree(t.Kids[1], vars, mem)) & 0xffff
+	case "deref":
+		return uint64(mem[evalTree(t.Kids[0], vars, mem)&0xffff])
+	case "index":
+		base := evalTree(t.Kids[0], vars, mem) & 0xffff
+		n := evalTree(t.Kids[1], vars, mem) & 0xffff
+		ch := evalTree(t.Kids[2], vars, mem) & 0xff
+		for i := uint64(0); i < n; i++ {
+			if uint64(mem[(base+i)&0xffff]) == ch {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	panic("eval: " + t.Op)
+}
+
+// genAndRun compiles statements and executes them on the 8086 simulator.
+func genAndRun(t *testing.T, stmts []*Tree, varAddr map[string]uint64,
+	vars map[string]uint64, mem map[uint64]byte) *sim.Machine {
+	t.Helper()
+	g := NewGen(Rules8086(), Pool8086(), varAddr)
+	for _, s := range stmts {
+		if err := g.GenStmt(s); err != nil {
+			t.Fatalf("GenStmt(%s): %v", PrefixString(Linearize(s)), err)
+		}
+	}
+	code := append(g.Code(), sim.Ins("hlt"))
+	m, err := sim.NewMachine(i8086.ISA(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range vars {
+		m.StoreWord(varAddr[name], v)
+	}
+	for a, b := range mem {
+		m.StoreByte(a, b)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("run: %v\n%s", err, sim.Listing(code))
+	}
+	return m
+}
+
+func TestLinearizePrefixForm(t *testing.T) {
+	tree := Assign("x", Op2("+", Var("y"), Const(1)))
+	got := PrefixString(Linearize(tree))
+	if got != ":=x + y 1" {
+		t.Errorf("prefix form = %q", got)
+	}
+}
+
+func TestSimpleExpressions(t *testing.T) {
+	varAddr := map[string]uint64{"x": 0xF000, "y": 0xF002, "z": 0xF004}
+	vars := map[string]uint64{"y": 40, "z": 7}
+	cases := []*Tree{
+		Op2("+", Var("y"), Var("z")),
+		Op2("-", Var("y"), Const(3)),
+		Op2("+", Op2("+", Var("y"), Var("z")), Const(1)),
+		Op2("-", Op2("+", Var("y"), Const(100)), Var("z")),
+		Op1("deref", Const(64)),
+		Op2("+", Op1("deref", Var("z")), Var("y")),
+	}
+	mem := map[uint64]byte{64: 9, 7: 3}
+	for _, e := range cases {
+		m := genAndRun(t, []*Tree{Out(e)}, varAddr, vars, mem)
+		want := evalTree(e, vars, mem)
+		if len(m.Out) != 1 || m.Out[0] != want {
+			t.Errorf("%s: out = %v, want %d", PrefixString(Linearize(e)), m.Out, want)
+		}
+	}
+}
+
+func TestSpecialCaseRuleWinsOnCost(t *testing.T) {
+	varAddr := map[string]uint64{"y": 0xF000}
+	g := NewGen(Rules8086(), Pool8086(), varAddr)
+	if err := g.GenStmt(Out(Op2("+", Var("y"), Const(1)))); err != nil {
+		t.Fatal(err)
+	}
+	text := sim.Listing(g.Code())
+	if !strings.Contains(text, "inc") {
+		t.Errorf("+1 did not select the increment rule:\n%s", text)
+	}
+	if strings.Contains(text, "add") {
+		t.Errorf("+1 also emitted an add:\n%s", text)
+	}
+	// And +2 selects the immediate add, not the general rule.
+	g2 := NewGen(Rules8086(), Pool8086(), varAddr)
+	if err := g2.GenStmt(Out(Op2("+", Var("y"), Const(2)))); err != nil {
+		t.Fatal(err)
+	}
+	text2 := sim.Listing(g2.Code())
+	if !strings.Contains(text2, "add") || strings.Contains(text2, "inc") {
+		t.Errorf("+2 rule selection wrong:\n%s", text2)
+	}
+	count := strings.Count(text2, "mov")
+	if count > 2 {
+		t.Errorf("+2 materialized its constant (%d movs):\n%s", count, text2)
+	}
+}
+
+func TestIndexOperatorRule(t *testing.T) {
+	varAddr := map[string]uint64{"r": 0xF000}
+	mem := map[uint64]byte{}
+	for i, b := range []byte("grammars") {
+		mem[200+uint64(i)] = b
+	}
+	tree := Assign("r", &Tree{Op: "index", Kids: []*Tree{Const(200), Const(8), Const('m')}})
+	m := genAndRun(t, []*Tree{tree, Out(Var("r"))}, varAddr, nil, mem)
+	if len(m.Out) != 1 || m.Out[0] != 4 {
+		t.Errorf("index('m' in \"grammars\") = %v, want [4]", m.Out)
+	}
+	// Not-found returns zero.
+	tree2 := Out(&Tree{Op: "index", Kids: []*Tree{Const(200), Const(8), Const('z')}})
+	m2 := genAndRun(t, []*Tree{tree2}, varAddr, nil, mem)
+	if m2.Out[0] != 0 {
+		t.Errorf("absent char: %v", m2.Out)
+	}
+	// The emitted code uses the exotic instruction.
+	g := NewGen(Rules8086(), Pool8086(), varAddr)
+	if err := g.GenStmt(tree2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sim.Listing(g.Code()), "repne_scasb") {
+		t.Error("index rule did not emit repne scasb")
+	}
+}
+
+func TestIndexWithComputedOperands(t *testing.T) {
+	// Operands arrive in pool registers and must be moved to the dedicated
+	// ones.
+	varAddr := map[string]uint64{"base": 0xF000, "n": 0xF002}
+	vars := map[string]uint64{"base": 300, "n": 5}
+	mem := map[uint64]byte{}
+	for i, b := range []byte("xxacz") {
+		mem[300+uint64(i)] = b
+	}
+	tree := Out(&Tree{Op: "index", Kids: []*Tree{
+		Var("base"),
+		Op2("+", Var("n"), Const(1)), // searches 6 bytes, last is 0
+		Const('c'),
+	}})
+	m := genAndRun(t, []*Tree{tree}, varAddr, vars, mem)
+	if len(m.Out) != 1 || m.Out[0] != 4 {
+		t.Errorf("out = %v, want [4]", m.Out)
+	}
+}
+
+func TestRandomTreesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	varAddr := map[string]uint64{"a": 0xF000, "b": 0xF002}
+	var gen func(depth int) *Tree
+	gen = func(depth int) *Tree {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return Const(uint64(rng.Intn(100)))
+			case 1:
+				return Var("a")
+			default:
+				return Var("b")
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return Op2("+", gen(depth-1), gen(depth-1))
+		case 1:
+			return Op2("-", gen(depth-1), gen(depth-1))
+		case 2:
+			return Op2("+", gen(depth-1), Const(1))
+		default:
+			return Op1("deref", Op2("+", gen(depth-1), Const(0x40)))
+		}
+	}
+	for round := 0; round < 200; round++ {
+		vars := map[string]uint64{"a": uint64(rng.Intn(64)), "b": uint64(rng.Intn(64))}
+		mem := map[uint64]byte{}
+		for a := uint64(0); a < 0x200; a++ {
+			mem[a] = byte(rng.Intn(256))
+		}
+		e := gen(2)
+		want := evalTree(e, vars, mem)
+		m := genAndRun(t, []*Tree{Out(e)}, varAddr, vars, mem)
+		if len(m.Out) != 1 || m.Out[0] != want {
+			t.Fatalf("round %d: %s = %v, want %d", round, PrefixString(Linearize(e)), m.Out, want)
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	// A deeply right-nested sum needs a register per pending operand; the
+	// four-register pool must run out and report it.
+	deep := Var("a")
+	for i := 0; i < 6; i++ {
+		deep = Op2("+", Var("a"), deep)
+	}
+	g := NewGen(Rules8086(), Pool8086(), map[string]uint64{"a": 0xF000})
+	err := g.GenStmt(Out(deep))
+	if err == nil || !strings.Contains(err.Error(), "pool exhausted") {
+		t.Errorf("err = %v, want pool exhaustion", err)
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	g := NewGen(Rules8086(), Pool8086(), nil)
+	// A bare expression is not a statement.
+	err := g.GenStmt(Const(5))
+	if err == nil {
+		t.Error("bare constant accepted as a statement")
+	}
+}
+
+func TestUnknownVariable(t *testing.T) {
+	g := NewGen(Rules8086(), Pool8086(), map[string]uint64{})
+	err := g.GenStmt(Out(Var("ghost")))
+	if err == nil || !strings.Contains(err.Error(), "unknown variable") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBacktrackingRollsBackCode(t *testing.T) {
+	// `+ a 1` first tries nothing exotic; ensure failed alternatives leave
+	// no stray instructions: generate twice and compare.
+	varAddr := map[string]uint64{"a": 0xF000}
+	g1 := NewGen(Rules8086(), Pool8086(), varAddr)
+	if err := g1.GenStmt(Out(Op2("+", Var("a"), Const(1)))); err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGen(Rules8086(), Pool8086(), varAddr)
+	if err := g2.GenStmt(Out(Op2("+", Var("a"), Const(1)))); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(g1.Code()) != fmt.Sprint(g2.Code()) {
+		t.Error("generation is not deterministic")
+	}
+	for _, in := range g1.Code() {
+		if in.Mn == "add" {
+			t.Errorf("failed alternative leaked an add:\n%s", sim.Listing(g1.Code()))
+		}
+	}
+}

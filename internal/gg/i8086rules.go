@@ -1,0 +1,159 @@
+package gg
+
+import (
+	"fmt"
+
+	"extra/internal/sim"
+)
+
+// Pool8086 is the register pool for the 8086 rule table. bx is reserved as
+// the addressing scratch and di/cx/al are the scasb rule's dedicated
+// registers, so neither appears in the pool.
+func Pool8086() []string { return []string{"ax", "dx", "si", "bp"} }
+
+// Rules8086 is the Intel 8086 grammar. The special-case increment and
+// decrement rules compete with the general add/sub on cost (the
+// Graham-Glanville signature move), and the `index` rule carries the
+// scasb/index binding's emitted form — constraints realized as cld and the
+// repne prefix, augments as the save/clear prologue and subtract epilogue.
+func Rules8086() []Rule {
+	return []Rule{
+		{
+			Name: "reg<-const", LHS: "reg", RHS: []Sym{AC()}, Cost: 2,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				r, err := g.Alloc()
+				if err != nil {
+					return Res{}, err
+				}
+				g.Emit(sim.Ins("mov", sim.R(r), sim.I(a[0].Val)))
+				return Res{Reg: r}, nil
+			},
+		},
+		{
+			Name: "reg<-var", LHS: "reg", RHS: []Sym{AV()}, Cost: 3,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				addr, ok := g.VarAddr[a[0].Name]
+				if !ok {
+					return Res{}, fmt.Errorf("gg: unknown variable %q", a[0].Name)
+				}
+				r, err := g.Alloc()
+				if err != nil {
+					return Res{}, err
+				}
+				g.Emit(
+					sim.Ins("mov", sim.R("bx"), sim.I(addr)),
+					sim.Ins("movw", sim.R(r), sim.M("bx")),
+				)
+				return Res{Reg: r}, nil
+			},
+		},
+		{
+			// The special case: adding one is an increment.
+			Name: "reg<-inc", LHS: "reg", RHS: []Sym{T("+"), N("reg"), CV(1)}, Cost: 0,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("inc", sim.R(a[1].Reg)))
+				return a[1], nil
+			},
+		},
+		{
+			Name: "reg<-addi", LHS: "reg", RHS: []Sym{T("+"), N("reg"), AC()}, Cost: 1,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("add", sim.R(a[1].Reg), sim.I(a[2].Val)))
+				return a[1], nil
+			},
+		},
+		{
+			Name: "reg<-add", LHS: "reg", RHS: []Sym{T("+"), N("reg"), N("reg")}, Cost: 2,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("add", sim.R(a[1].Reg), sim.R(a[2].Reg)))
+				g.Free(a[2].Reg)
+				return a[1], nil
+			},
+		},
+		{
+			Name: "reg<-dec", LHS: "reg", RHS: []Sym{T("-"), N("reg"), CV(1)}, Cost: 0,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("dec", sim.R(a[1].Reg)))
+				return a[1], nil
+			},
+		},
+		{
+			Name: "reg<-sub", LHS: "reg", RHS: []Sym{T("-"), N("reg"), N("reg")}, Cost: 2,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("sub", sim.R(a[1].Reg), sim.R(a[2].Reg)))
+				g.Free(a[2].Reg)
+				return a[1], nil
+			},
+		},
+		{
+			Name: "reg<-deref", LHS: "reg", RHS: []Sym{T("deref"), N("reg")}, Cost: 2,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("mov", sim.R(a[1].Reg), sim.M(a[1].Reg)))
+				return a[1], nil
+			},
+		},
+		{
+			// The high-level operator rule: EXTRA's scasb/index binding in
+			// grammar form. Operands move into the instruction's dedicated
+			// registers; the prologue and epilogue augments surround the
+			// repne scasb exactly as in the paper's section 4.1 listing.
+			Name: "reg<-index", LHS: "reg",
+			RHS:  []Sym{T("index"), N("reg"), N("reg"), N("reg")},
+			Cost: 4,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				base, length, ch := a[1].Reg, a[2].Reg, a[3].Reg
+				g.Emit(
+					sim.Ins("mov", sim.R("di"), sim.R(base)),
+					sim.Ins("mov", sim.R("cx"), sim.R(length)),
+					sim.Ins("mov", sim.R("al"), sim.R(ch)),
+				)
+				g.Free(base)
+				g.Free(length)
+				g.Free(ch)
+				scratch, err := g.Alloc()
+				if err != nil {
+					return Res{}, err
+				}
+				notFound, done := g.Label("Lnf"), g.Label("Ld")
+				g.Emit(
+					sim.Ins("mov", sim.R("bx"), sim.R("di")),    // save initial address
+					sim.Ins("mov", sim.R(scratch), sim.I(0)),    // clear scratch to reset zf
+					sim.Ins("cmp", sim.R(scratch), sim.I(1)),    // reset zero flag
+					sim.Ins("cld"),                              // df = 0
+					sim.Ins("repne_scasb"),                      // rf = 1, rfz = 0
+					sim.Ins("jnz", sim.L(notFound)),             //
+					sim.Ins("sub", sim.R("di"), sim.R("bx")),    // index from address
+					sim.Ins("jmp", sim.L(done)),                 //
+					sim.Lbl(notFound),                           //
+					sim.Ins("mov", sim.R("di"), sim.I(0)),       // zero if not found
+					sim.Lbl(done),                               //
+					sim.Ins("mov", sim.R(scratch), sim.R("di")), // into a pool register
+				)
+				return Res{Reg: scratch}, nil
+			},
+		},
+		{
+			Name: "stmt<-assign", LHS: "stmt", RHS: []Sym{T(":="), N("reg")}, Cost: 1,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				addr, ok := g.VarAddr[a[0].Name]
+				if !ok {
+					return Res{}, fmt.Errorf("gg: unknown variable %q", a[0].Name)
+				}
+				g.Emit(
+					sim.Ins("mov", sim.R("bx"), sim.I(addr)),
+					sim.Ins("movw", sim.M("bx"), sim.R(a[1].Reg)),
+				)
+				g.Free(a[1].Reg)
+				return Res{}, nil
+			},
+		},
+		{
+			Name: "stmt<-out", LHS: "stmt", RHS: []Sym{T("out"), N("reg")}, Cost: 1,
+			Emit: func(g *Gen, a []Res) (Res, error) {
+				g.Emit(sim.Ins("out", sim.R(a[1].Reg)))
+				g.Free(a[1].Reg)
+				return Res{}, nil
+			},
+		},
+	}
+}

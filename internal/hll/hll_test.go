@@ -1,0 +1,131 @@
+package hll
+
+import (
+	"strings"
+	"testing"
+
+	"extra/internal/ir"
+)
+
+func TestParseFullProgram(t *testing.T) {
+	src := `
+# a comment line
+data 100 "hello"      # trailing comment
+let x = 5
+let y = add x 3
+let i = index 100 5 'l'
+move 200 100 5
+clear 300 4
+let e = compare 100 200 5
+let b = loadb 100
+storeb 300 b
+print i
+print e
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Out) != 2 || r.Out[0] != 3 || r.Out[1] != 1 {
+		t.Errorf("out = %v, want [3 1]", r.Out)
+	}
+	if r.Vars["y"] != 8 {
+		t.Errorf("y = %d", r.Vars["y"])
+	}
+	if r.Mem[300] != 'h' {
+		t.Errorf("storeb wrote %d", r.Mem[300])
+	}
+}
+
+func TestParseValueForms(t *testing.T) {
+	p, err := Parse("let a = 65\nlet b = 'A'\nlet c = sub a b\nprint c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.RefRun()
+	if r.Out[0] != 0 {
+		t.Errorf("'A' != 65? out = %v", r.Out)
+	}
+}
+
+func TestParseDataEscapes(t *testing.T) {
+	p, err := Parse(`data 10 "a\x00b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ins) != 1 || len(p.Ins[0].Bytes) != 3 || p.Ins[0].Bytes[1] != 0 {
+		t.Errorf("bytes = %v", p.Ins[0].Bytes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"wibble", "unknown statement"},
+		{"let = 5", "malformed let"},
+		{"let 1x = 5", "bad variable name"},
+		{"let x = spin 1 2", "unknown operator"},
+		{"move 1 2", "takes 3 operands"},
+		{"print @", "bad operand"},
+		{"data xyz \"a\"", "bad data address"},
+		{"data 10 bare", "bad string literal"},
+		{"print nowhere", "used before definition"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Parse("let a = 1\n\nbroken here")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("wibble")
+}
+
+func TestGeneratedIRIsHighLevel(t *testing.T) {
+	// The internal form keeps the string operators explicit (paper section
+	// 6): an index stays an Index instruction.
+	p := MustParse("data 10 \"ab\"\nlet i = index 10 2 'b'\nprint i")
+	found := false
+	for _, in := range p.Ins {
+		if in.Op == ir.Index {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index lowered too early")
+	}
+}
+
+func TestCommentInsideStringLiteral(t *testing.T) {
+	p, err := Parse("data 10 \"a#b\" # real comment\nlet x = loadb 11\nprint x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Out[0] != '#' {
+		t.Errorf("byte = %q, want '#'", r.Out[0])
+	}
+}

@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Prog
+		want string
+	}{
+		{
+			"unknown op",
+			Prog{Ins: []Ins{{Op: "frob"}}},
+			"unknown op",
+		},
+		{
+			"bad arity",
+			Prog{Ins: []Ins{{Op: Move, Args: []Value{C(1)}}}},
+			"takes 3 operands",
+		},
+		{
+			"missing dst",
+			Prog{Ins: []Ins{{Op: Index, Args: []Value{C(1), C(2), C(3)}}}},
+			"destination mismatch",
+		},
+		{
+			"spurious dst",
+			Prog{Ins: []Ins{{Op: Print, Dst: "x", Args: []Value{C(1)}}}},
+			"destination mismatch",
+		},
+		{
+			"use before def",
+			Prog{Ins: []Ins{{Op: Print, Args: []Value{V("x")}}}},
+			"used before definition",
+		},
+	}
+	for _, c := range cases {
+		err := c.prog.Check()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRefRunSemantics(t *testing.T) {
+	p := &Prog{Ins: []Ins{
+		{Op: Data, At: 100, Bytes: []byte("finding")},
+		{Op: Set, Dst: "n", Args: []Value{C(7)}},
+		{Op: Index, Dst: "i", Args: []Value{C(100), V("n"), C('d')}},
+		{Op: Print, Args: []Value{V("i")}},
+		{Op: Index, Dst: "j", Args: []Value{C(100), V("n"), C('z')}},
+		{Op: Print, Args: []Value{V("j")}},
+		{Op: Move, Args: []Value{C(200), C(100), V("n")}},
+		{Op: Compare, Dst: "e", Args: []Value{C(100), C(200), V("n")}},
+		{Op: Print, Args: []Value{V("e")}},
+		{Op: StoreB, Args: []Value{C(203), C('X')}},
+		{Op: Compare, Dst: "e2", Args: []Value{C(100), C(200), V("n")}},
+		{Op: Print, Args: []Value{V("e2")}},
+		{Op: Clear, Args: []Value{C(200), V("n")}},
+		{Op: LoadB, Dst: "b", Args: []Value{C(200)}},
+		{Op: Print, Args: []Value{V("b")}},
+		{Op: Add, Dst: "s", Args: []Value{V("i"), C(10)}},
+		{Op: Sub, Dst: "d", Args: []Value{V("s"), V("i")}},
+		{Op: Print, Args: []Value{V("d")}},
+	}}
+	r, err := p.RefRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4, 0, 1, 0, 0, 10}
+	if len(r.Out) != len(want) {
+		t.Fatalf("out = %v, want %v", r.Out, want)
+	}
+	for i := range want {
+		if r.Out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, r.Out[i], want[i])
+		}
+	}
+	if got := r.Mem[203]; got != 0 {
+		t.Errorf("clear missed byte: %d", got)
+	}
+	if r.Mem[100] != 'f' {
+		t.Error("source clobbered")
+	}
+}
+
+func TestVarsFirstUseOrder(t *testing.T) {
+	p := &Prog{Ins: []Ins{
+		{Op: Set, Dst: "b", Args: []Value{C(1)}},
+		{Op: Set, Dst: "a", Args: []Value{V("b")}},
+		{Op: Set, Dst: "b", Args: []Value{V("a")}},
+	}}
+	vars := p.Vars()
+	if len(vars) != 2 || vars[0] != "b" || vars[1] != "a" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	i := Ins{Op: Index, Dst: "i", Args: []Value{C(100), V("n"), C(111)}}
+	if got := i.String(); got != "i = index(100, n, 111)" {
+		t.Errorf("String = %q", got)
+	}
+	d := Ins{Op: Data, At: 5, Bytes: []byte("ab")}
+	if got := d.String(); !strings.Contains(got, "@5") {
+		t.Errorf("data String = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+package isps
+
+import "fmt"
+
+// Validate performs static checks on a description:
+//
+//   - exactly one routine declaration (the entry point);
+//   - no duplicate declarations;
+//   - every identifier, call and input operand refers to a declaration;
+//   - every called name is a function, every assigned name a register;
+//   - exit_when appears only inside a repeat loop (exits inside functions
+//     must have their own enclosing loop);
+//   - functions do not call themselves or other functions (the paper's
+//     language has no aliasing and, in all its figures, straight-line
+//     helper functions).
+func Validate(d *Description) error {
+	routines := 0
+	declared := map[string]Decl{}
+	for _, s := range d.Sections {
+		for _, dec := range s.Decls {
+			name := dec.DeclName()
+			if IsKeyword(name) {
+				return fmt.Errorf("isps: %s: reserved word %q declared", d.Name, name)
+			}
+			if prev, dup := declared[name]; dup {
+				return fmt.Errorf("isps: %s: %q declared twice (%T and %T)", d.Name, name, prev, dec)
+			}
+			declared[name] = dec
+			if _, ok := dec.(*RoutineDecl); ok {
+				routines++
+			}
+		}
+	}
+	if routines != 1 {
+		return fmt.Errorf("isps: %s: want exactly 1 routine, have %d", d.Name, routines)
+	}
+	check := func(owner string, body *Block, isFunc bool) error {
+		var err error
+		Walk(body, func(n Node, p Path) bool {
+			if err != nil {
+				return false
+			}
+			switch x := n.(type) {
+			case *Ident:
+				dec, ok := declared[x.Name]
+				if !ok {
+					err = fmt.Errorf("isps: %s: %s uses undeclared name %q", d.Name, owner, x.Name)
+					return false
+				}
+				if _, isRoutine := dec.(*RoutineDecl); isRoutine {
+					err = fmt.Errorf("isps: %s: %s references routine %q as a value", d.Name, owner, x.Name)
+					return false
+				}
+			case *Call:
+				dec, ok := declared[x.Name]
+				if !ok {
+					err = fmt.Errorf("isps: %s: %s calls undeclared function %q", d.Name, owner, x.Name)
+					return false
+				}
+				if _, isFn := dec.(*FuncDecl); !isFn {
+					err = fmt.Errorf("isps: %s: %s calls %q, which is not a function", d.Name, owner, x.Name)
+					return false
+				}
+				if isFunc {
+					err = fmt.Errorf("isps: %s: function %s calls %s(); nested calls are not allowed", d.Name, owner, x.Name)
+					return false
+				}
+			case *InputStmt:
+				for _, nm := range x.Names {
+					if _, ok := declared[nm]; !ok {
+						err = fmt.Errorf("isps: %s: input operand %q is undeclared", d.Name, nm)
+						return false
+					}
+				}
+			case *AssignStmt:
+				if id, ok := x.LHS.(*Ident); ok {
+					dec := declared[id.Name]
+					if fd, isFn := dec.(*FuncDecl); isFn && fd.Name != owner {
+						err = fmt.Errorf("isps: %s: %s assigns to function %q outside its body", d.Name, owner, id.Name)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return checkExits(d.Name, owner, body, false)
+	}
+	for _, s := range d.Sections {
+		for _, dec := range s.Decls {
+			switch x := dec.(type) {
+			case *FuncDecl:
+				if err := check(x.Name, x.Body, true); err != nil {
+					return err
+				}
+			case *RoutineDecl:
+				if err := check(x.Name, x.Body, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkExits verifies every exit_when is nested inside a repeat.
+func checkExits(desc, owner string, b *Block, inLoop bool) error {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ExitWhenStmt:
+			if !inLoop {
+				return fmt.Errorf("isps: %s: %s has exit_when (%s) outside any repeat loop",
+					desc, owner, ExprString(st.Cond))
+			}
+		case *IfStmt:
+			if err := checkExits(desc, owner, st.Then, inLoop); err != nil {
+				return err
+			}
+			if err := checkExits(desc, owner, st.Else, inLoop); err != nil {
+				return err
+			}
+		case *RepeatStmt:
+			if err := checkExits(desc, owner, st.Body, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package isps
+
+// Equal reports deep structural equality of two nodes, including all names
+// and literal values.
+func Equal(a, b Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case *Ident:
+		y, ok := b.(*Ident)
+		return ok && x.Name == y.Name
+	case *Num:
+		y, ok := b.(*Num)
+		return ok && x.Val == y.Val
+	case *Call:
+		y, ok := b.(*Call)
+		return ok && x.Name == y.Name
+	case *Bin:
+		y, ok := b.(*Bin)
+		return ok && x.Op == y.Op && Equal(x.X, y.X) && Equal(x.Y, y.Y)
+	case *Un:
+		y, ok := b.(*Un)
+		return ok && x.Op == y.Op && Equal(x.X, y.X)
+	case *Mem:
+		y, ok := b.(*Mem)
+		return ok && Equal(x.Addr, y.Addr)
+	case *Block:
+		y, ok := b.(*Block)
+		if !ok || len(x.Stmts) != len(y.Stmts) {
+			return false
+		}
+		for i := range x.Stmts {
+			if !Equal(x.Stmts[i], y.Stmts[i]) {
+				return false
+			}
+		}
+		return true
+	case *AssignStmt:
+		y, ok := b.(*AssignStmt)
+		return ok && Equal(x.LHS, y.LHS) && Equal(x.RHS, y.RHS)
+	case *IfStmt:
+		y, ok := b.(*IfStmt)
+		return ok && Equal(x.Cond, y.Cond) && Equal(x.Then, y.Then) && Equal(x.Else, y.Else)
+	case *RepeatStmt:
+		y, ok := b.(*RepeatStmt)
+		return ok && Equal(x.Body, y.Body)
+	case *ExitWhenStmt:
+		y, ok := b.(*ExitWhenStmt)
+		return ok && Equal(x.Cond, y.Cond)
+	case *AssertStmt:
+		y, ok := b.(*AssertStmt)
+		return ok && Equal(x.Cond, y.Cond)
+	case *InputStmt:
+		y, ok := b.(*InputStmt)
+		if !ok || len(x.Names) != len(y.Names) {
+			return false
+		}
+		for i := range x.Names {
+			if x.Names[i] != y.Names[i] {
+				return false
+			}
+		}
+		return true
+	case *OutputStmt:
+		y, ok := b.(*OutputStmt)
+		if !ok || len(x.Exprs) != len(y.Exprs) {
+			return false
+		}
+		for i := range x.Exprs {
+			if !Equal(x.Exprs[i], y.Exprs[i]) {
+				return false
+			}
+		}
+		return true
+	case *RegDecl:
+		y, ok := b.(*RegDecl)
+		return ok && x.Name == y.Name && x.Width == y.Width
+	case *FuncDecl:
+		y, ok := b.(*FuncDecl)
+		return ok && x.Name == y.Name && x.Width == y.Width && Equal(x.Body, y.Body)
+	case *RoutineDecl:
+		y, ok := b.(*RoutineDecl)
+		return ok && x.Name == y.Name && Equal(x.Body, y.Body)
+	case *Section:
+		y, ok := b.(*Section)
+		if !ok || len(x.Decls) != len(y.Decls) {
+			return false
+		}
+		for i := range x.Decls {
+			if !Equal(x.Decls[i], y.Decls[i]) {
+				return false
+			}
+		}
+		return true
+	case *Description:
+		y, ok := b.(*Description)
+		if !ok || x.Name != y.Name || len(x.Sections) != len(y.Sections) {
+			return false
+		}
+		for i := range x.Sections {
+			if !Equal(x.Sections[i], y.Sections[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ParseStmt parses a single statement, e.g. "zf <- 0;" or a full
+// if/end_if. It performs no name validation; callers add declarations as
+// needed.
+func ParseStmt(src string) (Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after statement", p.tok)
+	}
+	return s, nil
+}
+
+// ParseStmts parses a statement sequence.
+func ParseStmts(src string) ([]Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	var out []Stmt
+	for p.tok.Kind != TokEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ParseExpr parses a single expression, e.g. "di - temp".
+func ParseExpr(src string) (Expr, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}

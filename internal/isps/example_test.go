@@ -1,0 +1,50 @@
+package isps_test
+
+import (
+	"fmt"
+	"log"
+
+	"extra/internal/isps"
+)
+
+// ExampleParse parses a small description and walks to its loop.
+func ExampleParse() {
+	d, err := isps.Parse(`count.operation := begin
+** S **
+  n: integer, total: integer,
+  count.execute := begin
+    input (n);
+    total <- 0;
+    repeat
+      exit_when (n = 0);
+      total <- total + n;
+      n <- n - 1;
+    end_repeat;
+    output (total);
+  end
+end`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, _ := isps.Find(d, func(n isps.Node) bool {
+		_, ok := n.(*isps.RepeatStmt)
+		return ok
+	})
+	loop, _ := isps.Resolve(d, p)
+	fmt.Println("loop at", p)
+	fmt.Println("body statements:", loop.(*isps.RepeatStmt).Body.NumChildren())
+	// Output:
+	// loop at /0/2/0/2
+	// body statements: 3
+}
+
+// ExampleExprString shows precedence-aware printing.
+func ExampleExprString() {
+	e, err := isps.ParseExpr("(rfz and (not zf)) or ((not rfz) and zf)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(isps.ExprString(e))
+	// Output:
+	// rfz and not zf or not rfz and zf
+}

@@ -1,0 +1,298 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokKind identifies the kind of a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNum
+	TokChar     // 'a'
+	TokAssign   // <- or ←
+	TokDefine   // :=
+	TokEq       // =
+	TokNe       // <>
+	TokLt       // <
+	TokGt       // >
+	TokLe       // <=
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma    // ,
+	TokSemi     // ;
+	TokColon    // :
+	TokSection  // **
+	TokComment  // ! ... end of line
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokNum: "number",
+	TokChar: "character", TokAssign: "<-", TokDefine: ":=", TokEq: "=",
+	TokNe: "<>", TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokLParen: "(", TokRParen: ")", TokLBracket: "[", TokRBracket: "]",
+	TokComma: ",", TokSemi: ";", TokColon: ":", TokSection: "**",
+	TokComment: "comment",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokNum and TokChar
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokIdent || t.Kind == TokNum || t.Kind == TokComment {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Lexer tokenizes description source text. Comments ("! ..." to end of
+// line) are produced as TokComment tokens so the parser can attach them to
+// declarations.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexing or parsing error with a source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("isps: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *Lexer) advance(size int) {
+	for i := 0; i < size; {
+		r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+		l.pos += w
+		i += w
+		if r == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	for {
+		r, w := l.peekRune()
+		if w == 0 {
+			return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+		}
+		if r == ' ' || r == '\t' || r == '\r' || r == '\n' {
+			l.advance(w)
+			continue
+		}
+		break
+	}
+	start := Token{Line: l.line, Col: l.col}
+	r, w := l.peekRune()
+	switch {
+	case r == '!':
+		begin := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.advance(1)
+		}
+		start.Kind = TokComment
+		start.Text = strings.TrimSpace(strings.TrimPrefix(l.src[begin:l.pos], "!"))
+		return start, nil
+	case isIdentStart(r):
+		begin := l.pos
+		for {
+			r, w := l.peekRune()
+			if w == 0 || !isIdentRune(r) {
+				break
+			}
+			l.advance(w)
+		}
+		start.Kind = TokIdent
+		start.Text = l.src[begin:l.pos]
+		// A trailing dot (as in "scasb.execute := begin" followed by
+		// ". end" typos) is not valid; identifiers cannot end in '.'.
+		if strings.HasSuffix(start.Text, ".") {
+			return start, l.errf("identifier %q may not end in '.'", start.Text)
+		}
+		return start, nil
+	case r >= '0' && r <= '9':
+		begin := l.pos
+		base := int64(10)
+		if r == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.advance(2)
+			begin = l.pos
+		}
+		for {
+			r, w := l.peekRune()
+			if w == 0 {
+				break
+			}
+			if base == 10 && (r < '0' || r > '9') {
+				break
+			}
+			if base == 16 && !isHexDigit(r) {
+				break
+			}
+			l.advance(w)
+		}
+		digits := l.src[begin:l.pos]
+		if digits == "" {
+			return start, l.errf("malformed hexadecimal literal")
+		}
+		var v int64
+		for _, c := range digits {
+			v = v*base + int64(hexVal(c))
+		}
+		start.Kind = TokNum
+		start.Text = digits
+		start.Val = v
+		return start, nil
+	case r == '\'':
+		l.advance(1)
+		c, cw := l.peekRune()
+		if cw == 0 || c == '\n' {
+			return start, l.errf("unterminated character literal")
+		}
+		l.advance(cw)
+		q, qw := l.peekRune()
+		if q != '\'' {
+			return start, l.errf("unterminated character literal")
+		}
+		l.advance(qw)
+		start.Kind = TokChar
+		start.Text = string(c)
+		start.Val = int64(c)
+		return start, nil
+	case r == '←':
+		l.advance(w)
+		start.Kind = TokAssign
+		return start, nil
+	case r == '<':
+		l.advance(1)
+		switch nr, _ := l.peekRune(); nr {
+		case '-':
+			l.advance(1)
+			start.Kind = TokAssign
+		case '=':
+			l.advance(1)
+			start.Kind = TokLe
+		case '>':
+			l.advance(1)
+			start.Kind = TokNe
+		default:
+			start.Kind = TokLt
+		}
+		return start, nil
+	case r == '>':
+		l.advance(1)
+		if nr, _ := l.peekRune(); nr == '=' {
+			l.advance(1)
+			start.Kind = TokGe
+		} else {
+			start.Kind = TokGt
+		}
+		return start, nil
+	case r == ':':
+		l.advance(1)
+		if nr, _ := l.peekRune(); nr == '=' {
+			l.advance(1)
+			start.Kind = TokDefine
+		} else {
+			start.Kind = TokColon
+		}
+		return start, nil
+	case r == '*':
+		l.advance(1)
+		if nr, _ := l.peekRune(); nr == '*' {
+			l.advance(1)
+			start.Kind = TokSection
+		} else {
+			start.Kind = TokStar
+		}
+		return start, nil
+	}
+	single := map[rune]TokKind{
+		'=': TokEq, '+': TokPlus, '-': TokMinus, '/': TokSlash,
+		'(': TokLParen, ')': TokRParen, '[': TokLBracket, ']': TokRBracket,
+		',': TokComma, ';': TokSemi,
+	}
+	if k, ok := single[r]; ok {
+		l.advance(w)
+		start.Kind = k
+		return start, nil
+	}
+	return start, l.errf("unexpected character %q", r)
+}
+
+func isHexDigit(r rune) bool {
+	return (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func hexVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	default:
+		return int(r-'A') + 10
+	}
+}

@@ -1,0 +1,676 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parser parses ISPS-like description source into an AST.
+type Parser struct {
+	lex     *Lexer
+	tok     Token // current token (comments already skipped)
+	pending string
+	err     error
+}
+
+// Parse parses a single description from src.
+func Parse(src string) (*Description, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	d, err := p.parseDescription()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after description", p.tok)
+	}
+	return d, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for the
+// built-in description corpora, which are compile-time constants.
+func MustParse(src string) *Description {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next advances past the current token, buffering comment text so it can be
+// attached to the next declaration.
+func (p *Parser) next() {
+	for {
+		t, err := p.lex.Next()
+		if err != nil {
+			p.err = err
+			p.tok = Token{Kind: TokEOF}
+			return
+		}
+		if t.Kind == TokComment {
+			if p.pending == "" {
+				p.pending = t.Text
+			} else {
+				p.pending += "; " + t.Text
+			}
+			continue
+		}
+		p.tok = t
+		return
+	}
+}
+
+func (p *Parser) takeComment() string {
+	c := p.pending
+	p.pending = ""
+	return c
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t, p.err
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokIdent && p.tok.Text == kw
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if p.err != nil {
+		return p.err
+	}
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q, found %s", kw, p.tok)
+	}
+	p.next()
+	return p.err
+}
+
+// keywords that may not be used as declaration or variable names.
+var keywords = map[string]bool{
+	"begin": true, "end": true, "if": true, "then": true, "else": true,
+	"end_if": true, "repeat": true, "end_repeat": true, "exit_when": true,
+	"input": true, "output": true, "assert": true,
+	"not": true, "and": true, "or": true, "xor": true,
+	"Mb": true,
+}
+
+// IsKeyword reports whether name is a reserved word of the description
+// language (and therefore unusable as a register or variable name).
+func IsKeyword(name string) bool { return keywords[name] }
+
+func (p *Parser) parseDescription() (*Description, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDefine); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("begin"); err != nil {
+		return nil, err
+	}
+	d := &Description{Name: name.Text}
+	p.takeComment()
+	for p.tok.Kind == TokSection {
+		sec, err := p.parseSection()
+		if err != nil {
+			return nil, err
+		}
+		d.Sections = append(d.Sections, sec)
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	if len(d.Sections) == 0 {
+		return nil, fmt.Errorf("isps: description %s has no sections", d.Name)
+	}
+	return d, nil
+}
+
+func (p *Parser) parseSection() (*Section, error) {
+	if _, err := p.expect(TokSection); err != nil {
+		return nil, err
+	}
+	var parts []string
+	for p.tok.Kind == TokIdent {
+		parts = append(parts, p.tok.Text)
+		p.next()
+	}
+	if len(parts) == 0 {
+		return nil, p.errf("expected section name after **")
+	}
+	if _, err := p.expect(TokSection); err != nil {
+		return nil, err
+	}
+	sec := &Section{Name: strings.Join(parts, " ")}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.tok.Kind == TokSection || p.isKeyword("end") || p.tok.Kind == TokEOF {
+			return sec, nil
+		}
+		decl, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		sec.Decls = append(sec.Decls, decl)
+		if p.tok.Kind == TokComma {
+			p.next()
+		}
+	}
+}
+
+func (p *Parser) parseDecl() (Decl, error) {
+	comment := p.takeComment()
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if keywords[name.Text] {
+		return nil, p.errf("reserved word %q may not be declared", name.Text)
+	}
+	switch p.tok.Kind {
+	case TokLParen:
+		// Function: name()<h:l> := begin ... end   or  name(): type := ...
+		p.next()
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		width, err := p.parseWidth()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDefine); err != nil {
+			return nil, err
+		}
+		if comment == "" {
+			comment = p.takeComment()
+		}
+		body, err := p.parseBlock("begin", "end")
+		if err != nil {
+			return nil, err
+		}
+		return &FuncDecl{Name: name.Text, Width: width, Comment: comment, Body: body}, nil
+	case TokLt, TokColon, TokNe:
+		width, err := p.parseWidth()
+		if err != nil {
+			return nil, err
+		}
+		if comment == "" {
+			comment = p.takeComment()
+		}
+		return &RegDecl{Name: name.Text, Width: width, Comment: comment}, nil
+	case TokDefine:
+		p.next()
+		body, err := p.parseBlock("begin", "end")
+		if err != nil {
+			return nil, err
+		}
+		return &RoutineDecl{Name: name.Text, Body: body}, nil
+	}
+	return nil, p.errf("malformed declaration of %q: found %s", name.Text, p.tok)
+}
+
+// parseWidth parses "<h:l>", "<>", or ": typename". It returns the width in
+// bits, with 0 meaning unbounded (integer).
+func (p *Parser) parseWidth() (int, error) {
+	switch p.tok.Kind {
+	case TokNe:
+		// "<>" lexes as a single not-equal token; as a width it is the
+		// 1-bit flag form.
+		p.next()
+		return 1, nil
+	case TokLt:
+		p.next()
+		if p.tok.Kind == TokGt {
+			p.next()
+			return 1, nil
+		}
+		hi, err := p.expect(TokNum)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return 0, err
+		}
+		lo, err := p.expect(TokNum)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(TokGt); err != nil {
+			return 0, err
+		}
+		if lo.Val > hi.Val {
+			return 0, p.errf("bit range <%d:%d> has low bit above high bit", hi.Val, lo.Val)
+		}
+		w := int(hi.Val - lo.Val + 1)
+		if w > 64 {
+			return 0, p.errf("width %d exceeds the 64-bit interpreter limit", w)
+		}
+		return w, nil
+	case TokColon:
+		p.next()
+		tn, err := p.expect(TokIdent)
+		if err != nil {
+			return 0, err
+		}
+		switch tn.Text {
+		case "integer":
+			return 0, nil
+		case "character":
+			return 8, nil
+		}
+		return 0, p.errf("unknown type %q (want integer or character)", tn.Text)
+	}
+	return 0, p.errf("expected width or type, found %s", p.tok)
+}
+
+// parseBlock parses open stmt* close. The Ne token "<>" never begins a
+// statement, so statement boundaries are unambiguous.
+func (p *Parser) parseBlock(open, close string) (*Block, error) {
+	if err := p.expectKeyword(open); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.isKeyword(close) {
+			p.next()
+			// Trailing semicolons after end_if / end_repeat are optional
+			// in the figures; consume one if present.
+			if p.tok.Kind == TokSemi {
+				p.next()
+			}
+			return b, p.err
+		}
+		if p.tok.Kind == TokEOF {
+			return nil, p.errf("unterminated block: expected %q", close)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+}
+
+// parseStmtList parses statements until one of the stop keywords, without
+// consuming the stop keyword.
+func (p *Parser) parseStmtList(stops ...string) (*Block, error) {
+	b := &Block{}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, stop := range stops {
+			if p.isKeyword(stop) {
+				return b, nil
+			}
+		}
+		if p.tok.Kind == TokEOF {
+			return nil, p.errf("unterminated statement list: expected one of %v", stops)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	p.takeComment()
+	if p.tok.Kind != TokIdent && !(p.tok.Kind == TokIdent) {
+		return nil, p.errf("expected statement, found %s", p.tok)
+	}
+	switch p.tok.Text {
+	case "if":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		thenBlk, err := p.parseStmtList("else", "end_if")
+		if err != nil {
+			return nil, err
+		}
+		elseBlk := &Block{}
+		if p.isKeyword("else") {
+			p.next()
+			elseBlk, err = p.parseStmtList("end_if")
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("end_if"); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokSemi {
+			p.next()
+		}
+		return &IfStmt{Cond: cond, Then: thenBlk, Else: elseBlk}, nil
+	case "repeat":
+		p.next()
+		body, err := p.parseStmtList("end_repeat")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("end_repeat"); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokSemi {
+			p.next()
+		}
+		return &RepeatStmt{Body: body}, nil
+	case "exit_when":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExitWhenStmt{Cond: cond}, nil
+	case "assert":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Cond: cond}, nil
+	case "input":
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var names []string
+		for {
+			n, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if keywords[n.Text] {
+				return nil, p.errf("reserved word %q may not be an operand", n.Text)
+			}
+			names = append(names, n.Text)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &InputStmt{Names: names}, nil
+	case "output":
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var exprs []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &OutputStmt{Exprs: exprs}, nil
+	case "Mb":
+		lhs, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs}, nil
+	}
+	if keywords[p.tok.Text] {
+		return nil, p.errf("unexpected %q", p.tok.Text)
+	}
+	// Assignment to an identifier.
+	name := p.tok.Text
+	p.next()
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: &Ident{Name: name}, RHS: rhs}, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr (("or" | "xor") andExpr)*
+//	andExpr  := notExpr ("and" notExpr)*
+//	notExpr  := "not" notExpr | relExpr
+//	relExpr  := addExpr (relop addExpr)?
+//	addExpr  := mulExpr (("+" | "-") mulExpr)*
+//	mulExpr  := unary (("*" | "/") unary)*
+//	unary    := "-" unary | primary
+//	primary  := NUM | CHAR | IDENT | IDENT "()" | "Mb" "[" expr "]" | "(" expr ")"
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") || p.isKeyword("xor") {
+		op := OpOr
+		if p.tok.Text == "xor" {
+			op = OpXor
+		}
+		p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		p.next()
+		y, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: OpAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.isKeyword("not") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNot, X: x}, nil
+	}
+	return p.parseRel()
+}
+
+var relOps = map[TokKind]Op{
+	TokEq: OpEq, TokNe: OpNe, TokLt: OpLt, TokGt: OpGt, TokLe: OpLe, TokGe: OpGe,
+}
+
+func (p *Parser) parseRel() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := relOps[p.tok.Kind]; ok {
+		p.next()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := OpAdd
+		if p.tok.Kind == TokMinus {
+			op = OpSub
+		}
+		p.next()
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash {
+		op := OpMul
+		if p.tok.Kind == TokSlash {
+			op = OpDiv
+		}
+		p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Bin{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNeg, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNum:
+		e := &Num{Val: p.tok.Val}
+		p.next()
+		return e, nil
+	case TokChar:
+		e := &Num{Val: p.tok.Val, IsChar: true}
+		p.next()
+		return e, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		name := p.tok.Text
+		if name == "Mb" {
+			p.next()
+			if _, err := p.expect(TokLBracket); err != nil {
+				return nil, err
+			}
+			addr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &Mem{Addr: addr}, nil
+		}
+		if keywords[name] {
+			return nil, p.errf("unexpected %q in expression", name)
+		}
+		p.next()
+		if p.tok.Kind == TokLParen {
+			p.next()
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Name: name}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}

@@ -1,0 +1,198 @@
+package isps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format returns the figure-style source text of a description, suitable for
+// reparsing and for reproducing the paper's listings (figures 2-5).
+func Format(d *Description) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := begin\n", d.Name)
+	for _, s := range d.Sections {
+		fmt.Fprintf(&b, "** %s **\n", s.Name)
+		for i, dec := range s.Decls {
+			last := i == len(s.Decls)-1
+			printDecl(&b, dec, last)
+		}
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func printDecl(b *strings.Builder, dec Decl, last bool) {
+	switch d := dec.(type) {
+	case *RegDecl:
+		// Comments print on their own line before the declaration so the
+		// parser re-attaches them to the same declaration on reparse.
+		if d.Comment != "" {
+			fmt.Fprintf(b, "  ! %s\n", d.Comment)
+		}
+		fmt.Fprintf(b, "  %s%s", d.Name, widthSuffix(d.Width))
+		if !last {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	case *FuncDecl:
+		if d.Comment != "" {
+			fmt.Fprintf(b, "  ! %s\n", d.Comment)
+		}
+		fmt.Fprintf(b, "  %s()%s := begin\n", d.Name, widthSuffix(d.Width))
+		printBlock(b, d.Body, 2)
+		b.WriteString("  end\n")
+	case *RoutineDecl:
+		fmt.Fprintf(b, "  %s := begin\n", d.Name)
+		printBlock(b, d.Body, 2)
+		b.WriteString("  end\n")
+	default:
+		panic(fmt.Sprintf("isps: unknown declaration type %T", dec))
+	}
+}
+
+func widthSuffix(w int) string {
+	switch w {
+	case 0:
+		return ": integer"
+	case 1:
+		return "<>"
+	default:
+		return fmt.Sprintf("<%d:0>", w-1)
+	}
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s <- %s;\n", ExprString(st.LHS), ExprString(st.RHS))
+	case *IfStmt:
+		fmt.Fprintf(b, "if %s\n", ExprString(st.Cond))
+		indent(b, depth)
+		b.WriteString("then\n")
+		printBlock(b, st.Then, depth+1)
+		if len(st.Else.Stmts) > 0 {
+			indent(b, depth)
+			b.WriteString("else\n")
+			printBlock(b, st.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("end_if;\n")
+	case *RepeatStmt:
+		b.WriteString("repeat\n")
+		printBlock(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("end_repeat;\n")
+	case *ExitWhenStmt:
+		fmt.Fprintf(b, "exit_when (%s);\n", ExprString(st.Cond))
+	case *AssertStmt:
+		fmt.Fprintf(b, "assert (%s);\n", ExprString(st.Cond))
+	case *InputStmt:
+		fmt.Fprintf(b, "input (%s);\n", strings.Join(st.Names, ", "))
+	case *OutputStmt:
+		parts := make([]string, len(st.Exprs))
+		for i, e := range st.Exprs {
+			parts[i] = ExprString(e)
+		}
+		fmt.Fprintf(b, "output (%s);\n", strings.Join(parts, ", "))
+	default:
+		panic(fmt.Sprintf("isps: unknown statement type %T", s))
+	}
+}
+
+// precedence levels, higher binds tighter; mirrors the parser.
+func prec(e Expr) int {
+	switch x := e.(type) {
+	case *Bin:
+		switch x.Op {
+		case OpOr, OpXor:
+			return 1
+		case OpAnd:
+			return 2
+		case OpEq, OpNe, OpLt, OpGt, OpLe, OpGe:
+			return 4
+		case OpAdd, OpSub:
+			return 5
+		case OpMul, OpDiv:
+			return 6
+		}
+	case *Un:
+		if x.Op == OpNot {
+			return 3
+		}
+		return 7
+	}
+	return 8 // primary
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+func printExpr(b *strings.Builder, e Expr, parentPrec int) {
+	p := prec(e)
+	if p < parentPrec {
+		b.WriteString("(")
+		defer b.WriteString(")")
+	}
+	switch x := e.(type) {
+	case *Ident:
+		b.WriteString(x.Name)
+	case *Num:
+		if x.IsChar && x.Val >= 32 && x.Val < 127 && x.Val != '\'' {
+			fmt.Fprintf(b, "'%c'", rune(x.Val))
+		} else {
+			fmt.Fprintf(b, "%d", x.Val)
+		}
+	case *Call:
+		fmt.Fprintf(b, "%s()", x.Name)
+	case *Mem:
+		b.WriteString("Mb[")
+		printExpr(b, x.Addr, 0)
+		b.WriteString("]")
+	case *Un:
+		b.WriteString(x.Op.String())
+		if x.Op == OpNot {
+			b.WriteString(" ")
+		}
+		// Operand must bind at least as tightly as the unary itself;
+		// "- -x" needs the space, handled by Op strings above for not.
+		printExpr(b, x.X, p+1)
+	case *Bin:
+		// Left-associative operators let the left child share their
+		// precedence; comparisons are non-associative in the grammar, so a
+		// comparison under a comparison needs parentheses on either side.
+		leftPrec := p
+		if x.Op.IsComparison() {
+			leftPrec = p + 1
+		}
+		printExpr(b, x.X, leftPrec)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printExpr(b, x.Y, p+1)
+	default:
+		panic(fmt.Sprintf("isps: unknown expression type %T", e))
+	}
+}
+
+// StmtString renders a single statement (and any nested blocks) as source
+// text with no leading indentation, primarily for diagnostics.
+func StmtString(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s, 0)
+	return strings.TrimSuffix(b.String(), "\n")
+}

@@ -1,0 +1,64 @@
+package proofs
+
+import (
+	"strings"
+	"testing"
+
+	"extra/internal/core"
+	"extra/internal/isps"
+)
+
+func TestScasbRigel(t *testing.T) {
+	a := ScasbRigel()
+	s, b, err := a.Run()
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	t.Logf("steps: %d (paper: %d)", b.Steps, a.PaperSteps)
+	if b.Steps < 20 {
+		t.Errorf("suspiciously few steps: %d", b.Steps)
+	}
+	// Operand binding: Src.Base->di, Src.Length->cx, ch->al.
+	want := map[string]string{"Src.Base": "di", "Src.Length": "cx", "ch": "al"}
+	for k, v := range want {
+		if b.VarMap[k] != v {
+			t.Errorf("VarMap[%s] = %s, want %s", k, b.VarMap[k], v)
+		}
+	}
+	// Constraints include the fixed flags and the 16-bit length range.
+	text := ""
+	for _, c := range b.Constraints {
+		text += c.String() + "\n"
+	}
+	for _, want := range []string{"rf = 1", "rfz = 0", "df = 0", "Src.Length", "65535"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("constraints missing %q:\n%s", want, text)
+		}
+	}
+	// Figure 4 and 5 snapshots exist and have the right shape.
+	snaps := s.Snapshots()
+	fig4, ok := snaps["fig4"]
+	if !ok {
+		t.Fatal("no fig4 snapshot")
+	}
+	f4 := isps.Format(fig4)
+	if strings.Contains(f4, "rf") || strings.Contains(f4, "df") {
+		t.Errorf("figure 4 still mentions fixed flags:\n%s", f4)
+	}
+	if !strings.Contains(f4, "exit_when (zf);") {
+		t.Errorf("figure 4 exit not simplified:\n%s", f4)
+	}
+	fig5 := snaps["fig5"]
+	f5 := isps.Format(fig5)
+	for _, wantLine := range []string{"zf <- 0;", "temp <- di;", "output (di - temp);"} {
+		if !strings.Contains(f5, wantLine) {
+			t.Errorf("figure 5 missing %q:\n%s", wantLine, f5)
+		}
+	}
+	// The binding survives differential validation.
+	n, err := core.ValidateBinding(b, a.Gen, 300, 7)
+	if err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	t.Logf("validated on %d inputs", n)
+}

@@ -1,0 +1,229 @@
+// Package i8086 simulates the Intel 8086 subset the retargetable code
+// generator emits: the general move/arithmetic/branch instructions plus the
+// rep-prefixed string instructions (movsb, scasb, cmpsb, stosb). Cycle
+// costs follow the timings in the 8086 Family User's Manual (memory
+// operands charged with a flat effective-address penalty); string
+// instruction costs are the documented base plus per-repetition cost.
+//
+// Registers are 16 bits. al is modeled as its own 8-bit register (the
+// generated code never uses ax and al together). Byte memory operands are
+// written [reg]; word loads/stores of variables use movw.
+package i8086
+
+import (
+	"fmt"
+
+	"extra/internal/sim"
+)
+
+// ISA returns the 8086 instruction set simulator.
+func ISA() *sim.ISA {
+	return &sim.ISA{Name: "Intel 8086", Bits: 16, Exec: exec}
+}
+
+func exec(m *sim.Machine, in sim.Instr) error {
+	switch in.Mn {
+	case "nop":
+		return nil
+	case "hlt":
+		m.Cycles += 2
+		m.Halted = true
+		return nil
+	case "out":
+		v, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		m.Cycles += 8
+		m.Out = append(m.Out, v)
+		return nil
+	case "mov":
+		return movByte(m, in)
+	case "movw":
+		return movWord(m, in)
+	case "add", "sub", "cmp", "and":
+		return arith(m, in)
+	case "inc", "dec":
+		v := m.Reg[in.Ops[0].Reg]
+		if in.Mn == "inc" {
+			v++
+		} else {
+			v--
+		}
+		m.SetReg(in.Ops[0].Reg, v)
+		m.ZF = m.Mask(v) == 0
+		m.Cycles += 3
+		return nil
+	case "xlat":
+		// al <- Mb[bx + al]: the 8086 table-translate instruction.
+		m.SetReg("al", uint64(m.LoadByte(m.Reg["bx"]+m.Reg["al"]&0xff)))
+		m.Cycles += 11
+		return nil
+	case "cld":
+		m.DF = false
+		m.Cycles += 2
+		return nil
+	case "std":
+		m.DF = true
+		m.Cycles += 2
+		return nil
+	case "jmp":
+		m.Cycles += 15
+		return m.Jump(in.Ops[0].Label)
+	case "jz", "jnz", "jb", "jae":
+		take := false
+		switch in.Mn {
+		case "jz":
+			take = m.ZF
+		case "jnz":
+			take = !m.ZF
+		case "jb":
+			take = m.LF
+		case "jae":
+			take = !m.LF
+		}
+		if take {
+			m.Cycles += 16
+			return m.Jump(in.Ops[0].Label)
+		}
+		m.Cycles += 4
+		return nil
+	case "loop":
+		cx := m.Mask(m.Reg["cx"] - 1)
+		m.SetReg("cx", cx)
+		if cx != 0 {
+			m.Cycles += 17
+			return m.Jump(in.Ops[0].Label)
+		}
+		m.Cycles += 5
+		return nil
+	case "rep_movsb":
+		n := m.Reg["cx"]
+		for m.Reg["cx"] != 0 {
+			m.StoreByte(m.Reg["di"], m.LoadByte(m.Reg["si"]))
+			m.SetReg("si", step(m, m.Reg["si"]))
+			m.SetReg("di", step(m, m.Reg["di"]))
+			m.SetReg("cx", m.Reg["cx"]-1)
+		}
+		m.Cycles += 9 + 17*n
+		return nil
+	case "rep_stosb":
+		n := m.Reg["cx"]
+		for m.Reg["cx"] != 0 {
+			m.StoreByte(m.Reg["di"], byte(m.Reg["al"]))
+			m.SetReg("di", step(m, m.Reg["di"]))
+			m.SetReg("cx", m.Reg["cx"]-1)
+		}
+		m.Cycles += 9 + 10*n
+		return nil
+	case "repne_scasb":
+		reps := uint64(0)
+		for m.Reg["cx"] != 0 {
+			reps++
+			m.SetReg("cx", m.Reg["cx"]-1)
+			b := m.LoadByte(m.Reg["di"])
+			m.SetReg("di", step(m, m.Reg["di"]))
+			m.ZF = uint64(b) == m.Reg["al"]&0xff
+			if m.ZF {
+				break
+			}
+		}
+		m.Cycles += 9 + 15*reps
+		return nil
+	case "repe_cmpsb":
+		reps := uint64(0)
+		for m.Reg["cx"] != 0 {
+			reps++
+			m.SetReg("cx", m.Reg["cx"]-1)
+			a := m.LoadByte(m.Reg["si"])
+			b := m.LoadByte(m.Reg["di"])
+			m.SetReg("si", step(m, m.Reg["si"]))
+			m.SetReg("di", step(m, m.Reg["di"]))
+			m.ZF = a == b
+			if !m.ZF {
+				break
+			}
+		}
+		m.Cycles += 9 + 22*reps
+		return nil
+	}
+	return fmt.Errorf("i8086: unknown instruction %q", in.Mn)
+}
+
+// step advances a string pointer in the df direction.
+func step(m *sim.Machine, v uint64) uint64 {
+	if m.DF {
+		return v - 1
+	}
+	return v + 1
+}
+
+// movByte implements mov: register/immediate moves and byte memory access.
+func movByte(m *sim.Machine, in sim.Instr) error {
+	dst, src := in.Ops[0], in.Ops[1]
+	switch {
+	case dst.Kind == sim.KReg && src.Kind == sim.KReg:
+		m.SetReg(dst.Reg, m.Reg[src.Reg])
+		m.Cycles += 2
+	case dst.Kind == sim.KReg && src.Kind == sim.KImm:
+		m.SetReg(dst.Reg, src.Imm)
+		m.Cycles += 4
+	case dst.Kind == sim.KReg && src.Kind == sim.KMem:
+		m.SetReg(dst.Reg, uint64(m.LoadByte(m.EA(src))))
+		m.Cycles += 12
+	case dst.Kind == sim.KMem && src.Kind == sim.KReg:
+		m.StoreByte(m.EA(dst), byte(m.Reg[src.Reg]))
+		m.Cycles += 13
+	case dst.Kind == sim.KMem && src.Kind == sim.KImm:
+		m.StoreByte(m.EA(dst), byte(src.Imm))
+		m.Cycles += 14
+	default:
+		return fmt.Errorf("i8086: unsupported mov forms %s, %s", dst, src)
+	}
+	return nil
+}
+
+// movWord implements 16-bit variable loads and stores.
+func movWord(m *sim.Machine, in sim.Instr) error {
+	dst, src := in.Ops[0], in.Ops[1]
+	switch {
+	case dst.Kind == sim.KReg && src.Kind == sim.KMem:
+		m.SetReg(dst.Reg, m.LoadWord(m.EA(src)))
+		m.Cycles += 12
+	case dst.Kind == sim.KMem && src.Kind == sim.KReg:
+		m.StoreWord(m.EA(dst), m.Reg[src.Reg])
+		m.Cycles += 13
+	default:
+		return fmt.Errorf("i8086: unsupported movw forms %s, %s", dst, src)
+	}
+	return nil
+}
+
+func arith(m *sim.Machine, in sim.Instr) error {
+	a := m.Reg[in.Ops[0].Reg]
+	b, err := m.Val(in.Ops[1])
+	if err != nil {
+		return err
+	}
+	var r uint64
+	switch in.Mn {
+	case "add":
+		r = a + b
+	case "sub", "cmp":
+		r = a - b
+	case "and":
+		r = a & b
+	}
+	r = m.Mask(r)
+	m.ZF = r == 0
+	m.LF = m.Mask(a) < m.Mask(b)
+	if in.Mn != "cmp" {
+		m.SetReg(in.Ops[0].Reg, r)
+	}
+	if in.Ops[1].Kind == sim.KImm {
+		m.Cycles += 4
+	} else {
+		m.Cycles += 3
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package ibm370 simulates the IBM System/370 subset the retargetable code
+// generator emits: register moves and arithmetic, insert/store character,
+// branch-on-count loops, and the storage-to-storage instructions mvc, clc
+// and mvi. The mvc length operand is the hardware's encoded field — the
+// instruction moves length+1 bytes — so the coding constraint discovered by
+// the mvc/sassign analysis (compiler loads Len-1) is visible in generated
+// code. Like the hardware, mvc moves strictly left to right, which is what
+// makes the classic overlapping-mvc fill idiom work.
+//
+// Registers are 32 bits. Cycle costs are a synthetic calibration of a
+// S/370 Model 158: one to two cycles for register instructions, a setup
+// cost plus one cycle per byte for the SS-format instructions.
+package ibm370
+
+import (
+	"fmt"
+
+	"extra/internal/sim"
+)
+
+// ISA returns the IBM 370 instruction set simulator.
+func ISA() *sim.ISA {
+	return &sim.ISA{Name: "IBM 370", Bits: 32, Exec: exec}
+}
+
+func exec(m *sim.Machine, in sim.Instr) error {
+	switch in.Mn {
+	case "nop":
+		return nil
+	case "hlt":
+		m.Cycles++
+		m.Halted = true
+		return nil
+	case "out":
+		v, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		m.Cycles += 2
+		m.Out = append(m.Out, v)
+		return nil
+	case "la": // load address: register <- immediate or register+disp
+		dst := in.Ops[0]
+		switch src := in.Ops[1]; src.Kind {
+		case sim.KImm:
+			m.SetReg(dst.Reg, src.Imm)
+		case sim.KMem:
+			m.SetReg(dst.Reg, m.EA(src))
+		case sim.KReg:
+			m.SetReg(dst.Reg, m.Reg[src.Reg])
+		}
+		m.Cycles++
+		return nil
+	case "lr": // register move
+		m.SetReg(in.Ops[0].Reg, m.Reg[in.Ops[1].Reg])
+		m.Cycles++
+		return nil
+	case "l": // load word
+		m.SetReg(in.Ops[0].Reg, m.LoadWord(m.EA(in.Ops[1])))
+		m.Cycles += 2
+		return nil
+	case "st": // store word
+		m.StoreWord(m.EA(in.Ops[1]), m.Reg[in.Ops[0].Reg])
+		m.Cycles += 2
+		return nil
+	case "ic": // insert character
+		m.SetReg(in.Ops[0].Reg, uint64(m.LoadByte(m.EA(in.Ops[1]))))
+		m.Cycles += 2
+		return nil
+	case "stc": // store character
+		m.StoreByte(m.EA(in.Ops[1]), byte(m.Reg[in.Ops[0].Reg]))
+		m.Cycles += 2
+		return nil
+	case "ar", "sr", "cr", "nr":
+		a := m.Reg[in.Ops[0].Reg]
+		b, err := m.Val(in.Ops[1])
+		if err != nil {
+			return err
+		}
+		var r uint64
+		switch in.Mn {
+		case "ar":
+			r = a + b
+		case "nr":
+			r = a & b
+		default:
+			r = a - b
+		}
+		r = m.Mask(r)
+		m.ZF = r == 0
+		m.LF = m.Mask(a) < m.Mask(b)
+		if in.Mn != "cr" {
+			m.SetReg(in.Ops[0].Reg, r)
+		}
+		m.Cycles++
+		return nil
+	case "b":
+		m.Cycles += 2
+		return m.Jump(in.Ops[0].Label)
+	case "be", "bne", "bl", "bnl":
+		take := false
+		switch in.Mn {
+		case "be":
+			take = m.ZF
+		case "bne":
+			take = !m.ZF
+		case "bl":
+			take = m.LF
+		case "bnl":
+			take = !m.LF
+		}
+		if take {
+			m.Cycles += 2
+			return m.Jump(in.Ops[0].Label)
+		}
+		m.Cycles += 2
+		return nil
+	case "bct": // branch on count: decrement, branch while nonzero
+		v := m.Mask(m.Reg[in.Ops[0].Reg] - 1)
+		m.SetReg(in.Ops[0].Reg, v)
+		m.Cycles += 2
+		if v != 0 {
+			return m.Jump(in.Ops[1].Label)
+		}
+		return nil
+	case "mvi": // move immediate byte to storage
+		m.StoreByte(m.EA(in.Ops[0]), byte(in.Ops[1].Imm))
+		m.Cycles += 2
+		return nil
+	case "mvc":
+		// mvc lencode, dst, src — moves lencode+1 bytes, strictly left to
+		// right (byte by byte), which overlapping-operand idioms rely on.
+		lc, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		lc &= 0xff
+		dst := m.EA(in.Ops[1])
+		src := m.EA(in.Ops[2])
+		n := lc + 1
+		for i := uint64(0); i < n; i++ {
+			m.StoreByte(dst+i, m.LoadByte(src+i))
+		}
+		m.Cycles += 5 + n
+		return nil
+	case "tr":
+		// tr lencode, field, table — translate lencode+1 bytes in place
+		// through the 256-byte table.
+		lc, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		lc &= 0xff
+		field := m.EA(in.Ops[1])
+		table := m.EA(in.Ops[2])
+		n := lc + 1
+		for i := uint64(0); i < n; i++ {
+			m.StoreByte(field+i, m.LoadByte(table+uint64(m.LoadByte(field+i))))
+		}
+		m.Cycles += 5 + 2*n
+		return nil
+	case "clc":
+		// clc lencode, a, b — compares lencode+1 bytes; Z set when equal.
+		lc, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		lc &= 0xff
+		a := m.EA(in.Ops[1])
+		b := m.EA(in.Ops[2])
+		n := lc + 1
+		m.ZF = true
+		scanned := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			scanned++
+			x, y := m.LoadByte(a+i), m.LoadByte(b+i)
+			if x != y {
+				m.ZF = false
+				m.LF = x < y
+				break
+			}
+		}
+		m.Cycles += 5 + scanned
+		return nil
+	}
+	return fmt.Errorf("ibm370: unknown instruction %q", in.Mn)
+}

@@ -1,0 +1,257 @@
+// Package sim provides the shared machinery for the target machine
+// simulators: a register/memory/cycle-counter state, a tiny assembly
+// container with labels, and a fetch-execute loop. Each target (i8086, vax,
+// ibm370) supplies an ISA — an Exec function implementing its instruction
+// subset, including the exotic string instructions, with a documented cycle
+// cost model.
+//
+// The simulators substitute for the paper's real hardware: generated code
+// runs on them end to end, and their cycle counters quantify the paper's
+// motivation that exotic instructions beat equivalent primitive sequences
+// in time and space (section 1).
+package sim
+
+import (
+	"fmt"
+)
+
+// OperandKind discriminates assembly operand forms.
+type OperandKind int
+
+// Operand kinds.
+const (
+	KNone  OperandKind = iota
+	KReg               // register
+	KImm               // immediate
+	KMem               // memory, indirect through a register plus displacement
+	KLabel             // branch target
+)
+
+// Operand is one assembly operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   string
+	Imm   uint64
+	Disp  int64
+	Label string
+}
+
+// R builds a register operand.
+func R(name string) Operand { return Operand{Kind: KReg, Reg: name} }
+
+// I builds an immediate operand.
+func I(v uint64) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// M builds a memory operand indirect through a register.
+func M(reg string) Operand { return Operand{Kind: KMem, Reg: reg} }
+
+// MD builds a memory operand indirect through a register with displacement.
+func MD(reg string, disp int64) Operand { return Operand{Kind: KMem, Reg: reg, Disp: disp} }
+
+// L builds a label operand.
+func L(label string) Operand { return Operand{Kind: KLabel, Label: label} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KReg:
+		return o.Reg
+	case KImm:
+		return fmt.Sprintf("#%d", o.Imm)
+	case KMem:
+		if o.Disp != 0 {
+			return fmt.Sprintf("%d[%s]", o.Disp, o.Reg)
+		}
+		return fmt.Sprintf("[%s]", o.Reg)
+	case KLabel:
+		return o.Label
+	}
+	return "?"
+}
+
+// Instr is one assembly instruction, optionally carrying a label.
+type Instr struct {
+	Label string
+	Mn    string
+	Ops   []Operand
+}
+
+// Ins builds an instruction.
+func Ins(mn string, ops ...Operand) Instr { return Instr{Mn: mn, Ops: ops} }
+
+// Lbl builds a label-only position marker (a no-op carrying the label).
+func Lbl(name string) Instr { return Instr{Label: name, Mn: "nop"} }
+
+func (in Instr) String() string {
+	s := ""
+	if in.Label != "" {
+		s = in.Label + ": "
+	}
+	s += in.Mn
+	for i, o := range in.Ops {
+		if i == 0 {
+			s += " "
+		} else {
+			s += ", "
+		}
+		s += o.String()
+	}
+	return s
+}
+
+// MemSize is the simulated memory size in bytes.
+const MemSize = 1 << 16
+
+// CPU is the architectural state shared by the target simulators.
+type CPU struct {
+	Reg map[string]uint64
+	Mem []byte
+	// ZF is the zero/equal condition; LF the less/negative condition.
+	ZF, LF bool
+	// DF is the 8086 direction flag.
+	DF bool
+	// Cycles accumulates the cost model.
+	Cycles uint64
+	// Out collects values emitted by the "out" instruction.
+	Out []uint64
+	// Halted stops the run loop.
+	Halted bool
+}
+
+// NewCPU returns a zeroed CPU.
+func NewCPU() *CPU {
+	return &CPU{Reg: map[string]uint64{}, Mem: make([]byte, MemSize)}
+}
+
+// ISA is a target instruction set: a register width and an executor. Exec
+// performs one instruction, charges its cycles, and may change m.PC via
+// Machine.Jump.
+type ISA struct {
+	Name string
+	// Bits is the register width; register writes are masked to it.
+	Bits int
+	Exec func(m *Machine, in Instr) error
+}
+
+// Machine couples a CPU with a program.
+type Machine struct {
+	*CPU
+	ISA    *ISA
+	Prog   []Instr
+	PC     int
+	labels map[string]int
+	steps  int
+}
+
+// NewMachine resolves labels and returns a machine ready to run.
+func NewMachine(isa *ISA, prog []Instr) (*Machine, error) {
+	m := &Machine{CPU: NewCPU(), ISA: isa, Prog: prog, labels: map[string]int{}}
+	for i, in := range prog {
+		if in.Label != "" {
+			if _, dup := m.labels[in.Label]; dup {
+				return nil, fmt.Errorf("sim: duplicate label %q", in.Label)
+			}
+			m.labels[in.Label] = i
+		}
+	}
+	return m, nil
+}
+
+// Jump transfers control to a label.
+func (m *Machine) Jump(label string) error {
+	i, ok := m.labels[label]
+	if !ok {
+		return fmt.Errorf("sim: undefined label %q", label)
+	}
+	m.PC = i
+	return nil
+}
+
+// Mask truncates v to the ISA register width.
+func (m *Machine) Mask(v uint64) uint64 {
+	if m.ISA.Bits >= 64 {
+		return v
+	}
+	return v & ((1 << uint(m.ISA.Bits)) - 1)
+}
+
+// SetReg writes a register, masked to the ISA width.
+func (m *Machine) SetReg(name string, v uint64) {
+	m.Reg[name] = m.Mask(v)
+}
+
+// Val evaluates a register or immediate operand.
+func (m *Machine) Val(o Operand) (uint64, error) {
+	switch o.Kind {
+	case KReg:
+		return m.Reg[o.Reg], nil
+	case KImm:
+		return o.Imm, nil
+	case KMem:
+		return uint64(m.Mem[m.EA(o)]), nil
+	}
+	return 0, fmt.Errorf("sim: operand %s is not a value", o)
+}
+
+// EA computes a memory operand's effective address.
+func (m *Machine) EA(o Operand) uint64 {
+	return (m.Reg[o.Reg] + uint64(o.Disp)) % MemSize
+}
+
+// LoadByte reads a byte of memory.
+func (m *Machine) LoadByte(addr uint64) byte { return m.Mem[addr%MemSize] }
+
+// StoreByte writes a byte of memory.
+func (m *Machine) StoreByte(addr uint64, v byte) { m.Mem[addr%MemSize] = v }
+
+// LoadWord reads a little-endian word of the ISA width (16 or 32 bits).
+func (m *Machine) LoadWord(addr uint64) uint64 {
+	n := m.ISA.Bits / 8
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(m.Mem[(addr+uint64(i))%MemSize]) << (8 * uint(i))
+	}
+	return v
+}
+
+// StoreWord writes a little-endian word of the ISA width.
+func (m *Machine) StoreWord(addr uint64, v uint64) {
+	n := m.ISA.Bits / 8
+	for i := 0; i < n; i++ {
+		m.Mem[(addr+uint64(i))%MemSize] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// ErrStepLimit reports a run that exceeded its step budget.
+var ErrStepLimit = fmt.Errorf("sim: step limit exceeded")
+
+// Run executes until a hlt instruction, the end of the program, or the step
+// limit (<= 0 selects a default of one million).
+func (m *Machine) Run(maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	for !m.Halted && m.PC < len(m.Prog) {
+		if m.steps++; m.steps > maxSteps {
+			return ErrStepLimit
+		}
+		in := m.Prog[m.PC]
+		m.PC++
+		if err := m.ISA.Exec(m, in); err != nil {
+			return fmt.Errorf("sim: at %d (%s): %w", m.PC-1, in, err)
+		}
+	}
+	return nil
+}
+
+// Listing renders a program as text, one instruction per line.
+func Listing(prog []Instr) string {
+	out := ""
+	for _, in := range prog {
+		if in.Label != "" && in.Mn == "nop" {
+			out += in.Label + ":\n"
+			continue
+		}
+		out += "\t" + in.String() + "\n"
+	}
+	return out
+}

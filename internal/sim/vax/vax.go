@@ -1,0 +1,247 @@
+// Package vax simulates the VAX-11 subset the retargetable code generator
+// emits: longword moves and arithmetic, branches, the loop-closing sobgtr,
+// and the character-string instructions movc3, movc5, locc and cmpc3.
+//
+// Operand order is destination-first throughout (diverging from VAX
+// assembler's source-first convention) so listings read uniformly across
+// the three targets. Registers are 32 bits. Cycle costs are a synthetic
+// calibration of a mid-range VAX-11/780: simple register instructions cost
+// a few cycles, memory traffic more, and the microcoded string instructions
+// a setup cost plus a small per-byte cost — the relationship the paper's
+// motivation depends on, not the absolute numbers.
+package vax
+
+import (
+	"fmt"
+
+	"extra/internal/sim"
+)
+
+// ISA returns the VAX-11 instruction set simulator.
+func ISA() *sim.ISA {
+	return &sim.ISA{Name: "VAX-11", Bits: 32, Exec: exec}
+}
+
+func exec(m *sim.Machine, in sim.Instr) error {
+	switch in.Mn {
+	case "nop":
+		return nil
+	case "hlt":
+		m.Cycles++
+		m.Halted = true
+		return nil
+	case "out":
+		v, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		m.Cycles += 5
+		m.Out = append(m.Out, v)
+		return nil
+	case "movl":
+		dst, src := in.Ops[0], in.Ops[1]
+		switch {
+		case dst.Kind == sim.KReg && src.Kind == sim.KReg:
+			m.SetReg(dst.Reg, m.Reg[src.Reg])
+			m.Cycles += 2
+		case dst.Kind == sim.KReg && src.Kind == sim.KImm:
+			m.SetReg(dst.Reg, src.Imm)
+			m.Cycles += 3
+		case dst.Kind == sim.KReg && src.Kind == sim.KMem:
+			m.SetReg(dst.Reg, m.LoadWord(m.EA(src)))
+			m.Cycles += 6
+		case dst.Kind == sim.KMem && src.Kind == sim.KReg:
+			m.StoreWord(m.EA(dst), m.Reg[src.Reg])
+			m.Cycles += 6
+		default:
+			return fmt.Errorf("vax: unsupported movl forms %s, %s", dst, src)
+		}
+		return nil
+	case "movb":
+		dst, src := in.Ops[0], in.Ops[1]
+		switch {
+		case dst.Kind == sim.KReg && src.Kind == sim.KMem:
+			m.SetReg(dst.Reg, uint64(m.LoadByte(m.EA(src))))
+			m.Cycles += 5
+		case dst.Kind == sim.KMem && src.Kind == sim.KReg:
+			m.StoreByte(m.EA(dst), byte(m.Reg[src.Reg]))
+			m.Cycles += 5
+		case dst.Kind == sim.KMem && src.Kind == sim.KImm:
+			m.StoreByte(m.EA(dst), byte(src.Imm))
+			m.Cycles += 5
+		default:
+			return fmt.Errorf("vax: unsupported movb forms %s, %s", dst, src)
+		}
+		return nil
+	case "addl", "subl", "cmpl", "andl":
+		a := m.Reg[in.Ops[0].Reg]
+		b, err := m.Val(in.Ops[1])
+		if err != nil {
+			return err
+		}
+		var r uint64
+		switch in.Mn {
+		case "addl":
+			r = a + b
+		case "andl":
+			// The hardware spells this bicl with the complemented mask.
+			r = a & b
+		default:
+			r = a - b
+		}
+		r = m.Mask(r)
+		m.ZF = r == 0
+		m.LF = m.Mask(a) < m.Mask(b)
+		if in.Mn != "cmpl" {
+			m.SetReg(in.Ops[0].Reg, r)
+		}
+		m.Cycles += 3
+		return nil
+	case "tstl":
+		m.ZF = m.Reg[in.Ops[0].Reg] == 0
+		m.LF = false
+		m.Cycles += 2
+		return nil
+	case "incl", "decl":
+		v := m.Reg[in.Ops[0].Reg]
+		if in.Mn == "incl" {
+			v++
+		} else {
+			v--
+		}
+		m.SetReg(in.Ops[0].Reg, v)
+		m.ZF = m.Mask(v) == 0
+		m.Cycles += 3
+		return nil
+	case "brb":
+		m.Cycles += 5
+		return m.Jump(in.Ops[0].Label)
+	case "beql", "bneq", "blss", "bgeq":
+		take := false
+		switch in.Mn {
+		case "beql":
+			take = m.ZF
+		case "bneq":
+			take = !m.ZF
+		case "blss":
+			take = m.LF
+		case "bgeq":
+			take = !m.LF
+		}
+		if take {
+			m.Cycles += 5
+			return m.Jump(in.Ops[0].Label)
+		}
+		m.Cycles += 3
+		return nil
+	case "sobgtr":
+		// Subtract one and branch if greater than zero: the VAX loop
+		// closer.
+		v := m.Mask(m.Reg[in.Ops[0].Reg] - 1)
+		m.SetReg(in.Ops[0].Reg, v)
+		m.Cycles += 6
+		if v != 0 {
+			return m.Jump(in.Ops[1].Label)
+		}
+		return nil
+	case "movc3":
+		// movc3 len, src, dst — with movc3's overlap protection. Leaves
+		// r0 = 0, r1 = src + len, r3 = dst + len, like the hardware.
+		ln, err := m.Val(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		ln &= 0xffff // the hardware length field is 16 bits
+		src, err := m.Val(in.Ops[1])
+		if err != nil {
+			return err
+		}
+		dst, err := m.Val(in.Ops[2])
+		if err != nil {
+			return err
+		}
+		if src < dst {
+			for i := ln; i > 0; i-- {
+				m.StoreByte(dst+i-1, m.LoadByte(src+i-1))
+			}
+		} else {
+			for i := uint64(0); i < ln; i++ {
+				m.StoreByte(dst+i, m.LoadByte(src+i))
+			}
+		}
+		m.SetReg("r0", 0)
+		m.SetReg("r1", src+ln)
+		m.SetReg("r3", dst+ln)
+		m.Cycles += 40 + 3*ln
+		return nil
+	case "movc5":
+		// movc5 srclen, src, fill, dstlen, dst.
+		srclen, _ := m.Val(in.Ops[0])
+		src, _ := m.Val(in.Ops[1])
+		fill, _ := m.Val(in.Ops[2])
+		dstlen, _ := m.Val(in.Ops[3])
+		dst, _ := m.Val(in.Ops[4])
+		srclen &= 0xffff
+		dstlen &= 0xffff
+		moved := uint64(0)
+		for moved < srclen && moved < dstlen {
+			m.StoreByte(dst+moved, m.LoadByte(src+moved))
+			moved++
+		}
+		filled := uint64(0)
+		for moved+filled < dstlen {
+			m.StoreByte(dst+moved+filled, byte(fill))
+			filled++
+		}
+		m.Cycles += 50 + 3*moved + 2*filled
+		return nil
+	case "locc":
+		// locc char, len, addr — results in r0 (bytes remaining including
+		// the located one; 0 when absent) and r1 (address of the located
+		// byte, or one past the end). Z is set when the byte was not found.
+		ch, _ := m.Val(in.Ops[0])
+		ln, _ := m.Val(in.Ops[1])
+		addr, _ := m.Val(in.Ops[2])
+		ln &= 0xffff // 16-bit length field
+		r0, r1 := ln, addr
+		scanned := uint64(0)
+		for r0 != 0 {
+			scanned++
+			if uint64(m.LoadByte(r1)) == ch&0xff {
+				break
+			}
+			r1++
+			r0--
+		}
+		m.SetReg("r0", r0)
+		m.SetReg("r1", r1)
+		m.ZF = r0 == 0
+		m.Cycles += 30 + 4*scanned
+		return nil
+	case "cmpc3":
+		// cmpc3 len, a1, a2 — compares until mismatch; r0 holds the bytes
+		// remaining (0 when equal), r1/r3 the positions. Z set when equal.
+		ln, _ := m.Val(in.Ops[0])
+		a1, _ := m.Val(in.Ops[1])
+		a2, _ := m.Val(in.Ops[2])
+		ln &= 0xffff // 16-bit length field
+		r0, r1, r3 := ln, a1, a2
+		scanned := uint64(0)
+		for r0 != 0 {
+			scanned++
+			if m.LoadByte(r1) != m.LoadByte(r3) {
+				break
+			}
+			r1++
+			r3++
+			r0--
+		}
+		m.SetReg("r0", r0)
+		m.SetReg("r1", r1)
+		m.SetReg("r3", r3)
+		m.ZF = r0 == 0
+		m.Cycles += 30 + 4*scanned
+		return nil
+	}
+	return fmt.Errorf("vax: unknown instruction %q", in.Mn)
+}

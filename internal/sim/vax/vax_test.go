@@ -1,0 +1,218 @@
+package vax
+
+import (
+	"math/rand"
+	"testing"
+
+	"extra/internal/interp"
+	"extra/internal/machines"
+	"extra/internal/sim"
+)
+
+func newM(t *testing.T, prog []sim.Instr) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(ISA(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runM(t *testing.T, m *sim.Machine) {
+	t.Helper()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	m := newM(t, []sim.Instr{
+		sim.Ins("movl", sim.R("r1"), sim.I(100000)),
+		sim.Ins("addl", sim.R("r1"), sim.I(1)),
+		sim.Ins("movl", sim.R("r2"), sim.R("r1")),
+		sim.Ins("subl", sim.R("r2"), sim.I(2)),
+		sim.Ins("out", sim.R("r1")),
+		sim.Ins("out", sim.R("r2")),
+		sim.Ins("hlt"),
+	})
+	runM(t, m)
+	if m.Out[0] != 100001 || m.Out[1] != 99999 {
+		t.Errorf("out = %v", m.Out)
+	}
+}
+
+func TestSobgtr(t *testing.T) {
+	m := newM(t, []sim.Instr{
+		sim.Ins("movl", sim.R("r0"), sim.I(4)),
+		sim.Ins("movl", sim.R("r1"), sim.I(0)),
+		sim.Lbl("top"),
+		sim.Ins("addl", sim.R("r1"), sim.I(3)),
+		sim.Ins("sobgtr", sim.R("r0"), sim.L("top")),
+		sim.Ins("out", sim.R("r1")),
+		sim.Ins("hlt"),
+	})
+	runM(t, m)
+	if m.Out[0] != 12 {
+		t.Errorf("4 iterations of +3 = %d", m.Out[0])
+	}
+}
+
+// TestMovc3OverlapAgainstDescription cross-validates the simulator's movc3
+// (including its overlap protection) with the corpus description.
+func TestMovc3OverlapAgainstDescription(t *testing.T) {
+	desc := machines.Get("movc3")
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 100; round++ {
+		n := rng.Intn(10)
+		src := uint64(100 + rng.Intn(12))
+		dst := uint64(100 + rng.Intn(12)) // frequently overlapping
+		content := make([]byte, 32)
+		rng.Read(content)
+		m := newM(t, []sim.Instr{
+			sim.Ins("movc3", sim.I(uint64(n)), sim.I(src), sim.I(dst)),
+			sim.Ins("hlt"),
+		})
+		for i, b := range content {
+			m.StoreByte(uint64(96+i), b)
+		}
+		runM(t, m)
+		st := interp.NewState()
+		for i, b := range content {
+			st.Mem[uint64(96+i)] = b
+		}
+		if _, err := interp.Run(desc, []uint64{uint64(n), src, dst}, st, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			a := uint64(96 + i)
+			if m.LoadByte(a) != st.Mem[a] {
+				t.Fatalf("round %d (n=%d src=%d dst=%d): byte %d differs", round, n, src, dst, a)
+			}
+		}
+	}
+}
+
+// TestLoccAgainstDescription cross-validates locc's r0/r1 results.
+func TestLoccAgainstDescription(t *testing.T) {
+	desc := machines.Get("locc")
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 100; round++ {
+		n := rng.Intn(12)
+		base := uint64(200)
+		ch := byte('a' + rng.Intn(4))
+		content := make([]byte, n)
+		for i := range content {
+			content[i] = byte('a' + rng.Intn(3))
+		}
+		m := newM(t, []sim.Instr{
+			sim.Ins("locc", sim.I(uint64(ch)), sim.I(uint64(n)), sim.I(base)),
+			sim.Ins("hlt"),
+		})
+		for i, b := range content {
+			m.StoreByte(base+uint64(i), b)
+		}
+		runM(t, m)
+		st := interp.NewState()
+		st.SetString(base, string(content))
+		res, err := interp.Run(desc, []uint64{uint64(ch), uint64(n), base}, st, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Reg["r0"] != res.Outputs[0] || m.Reg["r1"] != res.Outputs[1] {
+			t.Fatalf("round %d: sim (r0=%d r1=%d) vs description (r0=%d r1=%d)",
+				round, m.Reg["r0"], m.Reg["r1"], res.Outputs[0], res.Outputs[1])
+		}
+	}
+}
+
+// TestCmpc3AgainstDescription cross-validates cmpc3.
+func TestCmpc3AgainstDescription(t *testing.T) {
+	desc := machines.Get("cmpc3")
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 100; round++ {
+		n := rng.Intn(10)
+		a, b := uint64(100), uint64(300)
+		s1 := make([]byte, n)
+		for i := range s1 {
+			s1[i] = byte('a' + rng.Intn(2))
+		}
+		s2 := append([]byte(nil), s1...)
+		if n > 0 && rng.Intn(2) == 0 {
+			s2[rng.Intn(n)] ^= 1
+		}
+		m := newM(t, []sim.Instr{
+			sim.Ins("cmpc3", sim.I(uint64(n)), sim.I(a), sim.I(b)),
+			sim.Ins("hlt"),
+		})
+		for i := range s1 {
+			m.StoreByte(a+uint64(i), s1[i])
+			m.StoreByte(b+uint64(i), s2[i])
+		}
+		runM(t, m)
+		st := interp.NewState()
+		st.SetString(a, string(s1))
+		st.SetString(b, string(s2))
+		res, err := interp.Run(desc, []uint64{uint64(n), a, b}, st, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Reg["r0"] != res.Outputs[0] || m.Reg["r1"] != res.Outputs[1] || m.Reg["r3"] != res.Outputs[2] {
+			t.Fatalf("round %d: sim (%d,%d,%d) vs description %v",
+				round, m.Reg["r0"], m.Reg["r1"], m.Reg["r3"], res.Outputs)
+		}
+	}
+}
+
+// TestMovc5AgainstDescription cross-validates movc5's move-then-fill.
+func TestMovc5AgainstDescription(t *testing.T) {
+	desc := machines.Get("movc5")
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 100; round++ {
+		srclen := rng.Intn(8)
+		dstlen := rng.Intn(8)
+		fill := byte(rng.Intn(256))
+		src, dst := uint64(100), uint64(300)
+		content := make([]byte, srclen)
+		rng.Read(content)
+		m := newM(t, []sim.Instr{
+			sim.Ins("movc5", sim.I(uint64(srclen)), sim.I(src), sim.I(uint64(fill)),
+				sim.I(uint64(dstlen)), sim.I(dst)),
+			sim.Ins("hlt"),
+		})
+		for i, b := range content {
+			m.StoreByte(src+uint64(i), b)
+		}
+		runM(t, m)
+		st := interp.NewState()
+		st.SetString(src, string(content))
+		if _, err := interp.Run(desc,
+			[]uint64{uint64(srclen), src, uint64(fill), uint64(dstlen), dst}, st, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < dstlen; i++ {
+			if m.LoadByte(dst+uint64(i)) != st.Mem[dst+uint64(i)] {
+				t.Fatalf("round %d: dst byte %d differs", round, i)
+			}
+		}
+	}
+}
+
+func TestBranchFamily(t *testing.T) {
+	m := newM(t, []sim.Instr{
+		sim.Ins("movl", sim.R("r1"), sim.I(3)),
+		sim.Ins("cmpl", sim.R("r1"), sim.I(5)),
+		sim.Ins("blss", sim.L("a")),
+		sim.Ins("out", sim.I(0)),
+		sim.Lbl("a"),
+		sim.Ins("tstl", sim.R("r1")),
+		sim.Ins("bneq", sim.L("b")),
+		sim.Ins("out", sim.I(0)),
+		sim.Lbl("b"),
+		sim.Ins("out", sim.I(1)),
+		sim.Ins("hlt"),
+	})
+	runM(t, m)
+	if len(m.Out) != 1 || m.Out[0] != 1 {
+		t.Errorf("out = %v", m.Out)
+	}
+}

@@ -1,0 +1,62 @@
+package transform
+
+import (
+	"testing"
+
+	"extra/internal/isps"
+)
+
+// TestEveryTransformationRejectsGracefully applies every registered
+// transformation at every node of a small description with empty and junk
+// arguments: none may panic, and whatever succeeds must produce a valid
+// description. This is the library's "no crashes on bad cursor positions"
+// net — the paper's interactive EXTRA faced arbitrary user cursor
+// placement.
+func TestEveryTransformationRejectsGracefully(t *testing.T) {
+	d := parse(t, "a: integer, f<>, k<7:0>,",
+		`input (a, f, k);
+if f then a <- a + 1; else a <- 0; end_if;
+repeat
+exit_when (k = 0);
+Mb[a + k] <- 1;
+k <- k - 1;
+end_repeat;
+output (a);`)
+	var paths []isps.Path
+	isps.Walk(d, func(n isps.Node, p isps.Path) bool {
+		paths = append(paths, append(isps.Path(nil), p...))
+		return true
+	})
+	argSets := []Args{
+		nil,
+		{"dir": "up"},
+		{"operand": "a", "value": "0", "var": "a", "flag": "f", "to": "zz",
+			"temp": "zz", "width": "8", "i": "zz", "n": "a", "len": "zz",
+			"p": "a", "keep": "a", "drop": "f", "k": "k", "from": "a",
+			"stmt": "a <- 0;", "stmts": "output (0);", "abstract": "zz",
+			"delta": "-1", "min": "0", "max": "5", "pred": "a > 0",
+			"order": "a,f,k", "func": "a", "src": "a", "dst": "f"},
+		{"value": "not-a-number", "width": "x", "delta": "y"},
+	}
+	for _, tr := range All() {
+		for _, p := range paths {
+			for _, args := range argSets {
+				out, err := func() (o *Outcome, err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%s at %s with %v panicked: %v", tr.Name, p, args, r)
+						}
+					}()
+					return tr.Apply(d, p, args)
+				}()
+				if err != nil {
+					continue
+				}
+				if verr := isps.Validate(out.Desc); verr != nil {
+					t.Errorf("%s at %s with %v produced an invalid description: %v",
+						tr.Name, p, args, verr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package transform implements EXTRA's source-to-source transformation
+// library. The paper's system (section 5) contains 75 transformations in
+// seven categories — local, code motion, loop, global, routine structuring,
+// constraint and assertion, and augment producing — applied at a cursor
+// position in a description after their syntactic and data-flow
+// preconditions have been verified.
+//
+// Every transformation here takes an input description (never mutated), a
+// path addressing the point of interest, and optional string arguments, and
+// produces a transformed copy plus any constraints the application
+// introduces. Transformations are registered by name; an analysis session
+// (package core) records each application as one step, mirroring the
+// paper's step counts.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"extra/internal/constraint"
+	"extra/internal/dataflow"
+	"extra/internal/isps"
+)
+
+// Category is the paper's seven-way classification (section 5).
+type Category int
+
+// Transformation categories.
+const (
+	Local Category = iota
+	Motion
+	Loop
+	Global
+	Routine
+	Constraint
+	Augment
+)
+
+func (c Category) String() string {
+	switch c {
+	case Local:
+		return "local"
+	case Motion:
+		return "code motion"
+	case Loop:
+		return "loop"
+	case Global:
+		return "global"
+	case Routine:
+		return "routine structuring"
+	case Constraint:
+		return "constraint and assertion"
+	case Augment:
+		return "augment producing"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Effect classifies how an application relates the old and new description.
+type Effect int
+
+// Effects.
+const (
+	// Preserving applications compute identical input/output/memory
+	// behaviour (possibly conditional on recorded constraints).
+	Preserving Effect = iota
+	// Simplifying applications fix or re-encode an operand, shrinking the
+	// input signature; Outcome records how old inputs map to new ones.
+	Simplifying
+	// Augmenting applications add prologue/epilogue code or change the
+	// outputs, producing a variant instruction by design.
+	Augmenting
+)
+
+// Args carries a transformation's extra parameters.
+type Args map[string]string
+
+// Int fetches an integer argument.
+func (a Args) Int(key string) (int, error) {
+	s, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("transform: missing argument %q", key)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("transform: argument %q: %v", key, err)
+	}
+	return n, nil
+}
+
+// Str fetches a required string argument.
+func (a Args) Str(key string) (string, error) {
+	s, ok := a[key]
+	if !ok || s == "" {
+		return "", fmt.Errorf("transform: missing argument %q", key)
+	}
+	return s, nil
+}
+
+// InputAdaptor explains how operand vectors of the old description map to
+// the new one after a Simplifying application, so differential tests can
+// compare the two.
+type InputAdaptor struct {
+	// Removed is the operand deleted from the input list ("" if none).
+	Removed string
+	// RemovedPos is Removed's index in the old input list.
+	RemovedPos int
+	// RemovedVal is the fixed value the operand now always takes.
+	RemovedVal uint64
+	// Delta, for re-encoded operands, satisfies old = new + Delta at
+	// position RemovedPos (Removed is then the re-encoded operand's old
+	// name, which stays in place).
+	Delta int64
+	// Reencoded marks Delta-style adaptors.
+	Reencoded bool
+	// Perm, for operand reordering, maps new input positions to old ones:
+	// newInputs[i] = oldInputs[Perm[i]].
+	Perm []int
+}
+
+// splitComma splits a comma-separated argument list, trimming spaces.
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := trimSpace(s[start:i])
+			if part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Outcome is the result of one transformation application.
+type Outcome struct {
+	Desc        *isps.Description
+	Constraints []constraint.Constraint
+	Adaptor     *InputAdaptor
+	// Prologue/Epilogue record augment statements added by Augment
+	// transformations, phrased over the instruction's registers.
+	Prologue []isps.Stmt
+	Epilogue []isps.Stmt
+	// RemovedOutputs records the original output statement replaced by an
+	// epilogue augment.
+	RemovedOutputs []isps.Expr
+	// Rewrites counts the elementary tree edits the application performed
+	// (0 counts as 1): a constant propagation that replaces five uses is
+	// one step at this library's granularity but five of the paper's
+	// low-level steps, and the session reports both accountings.
+	Rewrites int
+	Note     string
+}
+
+// Transformation is one entry of the library.
+type Transformation struct {
+	Name     string
+	Category Category
+	Effect   Effect
+	Doc      string
+	// Apply transforms a copy of d at path `at` and returns the outcome,
+	// or an error when the preconditions fail. d itself is never mutated.
+	Apply func(d *isps.Description, at isps.Path, args Args) (*Outcome, error)
+}
+
+var registry = map[string]*Transformation{}
+
+func register(t *Transformation) *Transformation {
+	if _, dup := registry[t.Name]; dup {
+		panic("transform: duplicate registration of " + t.Name)
+	}
+	registry[t.Name] = t
+	return t
+}
+
+// Get looks up a transformation by name.
+func Get(name string) (*Transformation, error) {
+	t, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("transform: unknown transformation %q", name)
+	}
+	return t, nil
+}
+
+// All returns the library sorted by name.
+func All() []*Transformation {
+	out := make([]*Transformation, 0, len(registry))
+	for _, t := range registry {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByCategory returns the library entries in the given category, sorted.
+func ByCategory(c Category) []*Transformation {
+	var out []*Transformation
+	for _, t := range All() {
+		if t.Category == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+// errPrecond formats a precondition failure.
+func errPrecond(name, format string, args ...any) error {
+	return fmt.Errorf("transform %s: %s", name, fmt.Sprintf(format, args...))
+}
+
+// routineBody returns the path of the routine's body block and the block.
+func routineBody(d *isps.Description) (isps.Path, *isps.Block, error) {
+	for si, s := range d.Sections {
+		for di, dec := range s.Decls {
+			if r, ok := dec.(*isps.RoutineDecl); ok {
+				return isps.Path{si, di, 0}, r.Body, nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("transform: description %s has no routine", d.Name)
+}
+
+// bodyRelative strips the routine-body prefix from an absolute path.
+func bodyRelative(d *isps.Description, at isps.Path) (isps.Path, error) {
+	bp, _, err := routineBody(d)
+	if err != nil {
+		return nil, err
+	}
+	if len(at) < len(bp) {
+		return nil, fmt.Errorf("transform: path %s is outside the routine body", at)
+	}
+	for i := range bp {
+		if at[i] != bp[i] {
+			return nil, fmt.Errorf("transform: path %s is outside the routine body", at)
+		}
+	}
+	return append(isps.Path(nil), at[len(bp):]...), nil
+}
+
+// resolveExpr resolves `at` in d and asserts it is an expression.
+func resolveExpr(d *isps.Description, at isps.Path) (isps.Expr, error) {
+	n, err := isps.Resolve(d, at)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := n.(isps.Expr)
+	if !ok {
+		return nil, fmt.Errorf("transform: path %s addresses %T, not an expression", at, n)
+	}
+	return e, nil
+}
+
+// resolveStmtIndex resolves `at` in d to a statement and returns its
+// containing block and index within it.
+func resolveStmtIndex(d *isps.Description, at isps.Path) (*isps.Block, isps.Path, int, error) {
+	if len(at) == 0 {
+		return nil, nil, 0, fmt.Errorf("transform: empty path does not address a statement")
+	}
+	parentPath, idx := at.Parent()
+	n, err := isps.Resolve(d, parentPath)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	blk, ok := n.(*isps.Block)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("transform: path %s is not inside a block", at)
+	}
+	if idx >= len(blk.Stmts) {
+		return nil, nil, 0, fmt.Errorf("transform: statement index %d out of range at %s", idx, at)
+	}
+	return blk, parentPath, idx, nil
+}
+
+// isBooleanValued reports whether e always evaluates to 0 or 1: relational
+// and logical operators do, as do the literals 0 and 1 and 1-bit registers.
+func isBooleanValued(e isps.Expr, d *isps.Description) bool {
+	switch x := e.(type) {
+	case *isps.Bin:
+		return x.Op.IsComparison() || x.Op.IsBoolean()
+	case *isps.Un:
+		return x.Op == isps.OpNot
+	case *isps.Num:
+		return x.Val == 0 || x.Val == 1
+	case *isps.Ident:
+		if r := d.Reg(x.Name); r != nil {
+			return r.Width == 1
+		}
+	}
+	return false
+}
+
+// pureExpr reports whether evaluating e has no side effects (no calls; Mb
+// reads are allowed, they do not change state).
+func pureExpr(e isps.Expr) bool {
+	return !dataflow.HasCalls(e)
+}
+
+// substituteIdent replaces every use of Ident(name) under root with a clone
+// of repl in a single pass (replacements are not re-visited, so repl may
+// itself mention name). Assignment left-hand sides are rewritten only when
+// repl is itself an identifier; a non-lvalue replacement hitting an LHS
+// occurrence is an error (-1). Input statements and declarations are left
+// alone.
+func substituteIdent(root isps.Node, name string, repl isps.Expr) int {
+	total := 0
+	var rec func(n isps.Node) bool
+	rec = func(n isps.Node) bool {
+		for i := 0; i < n.NumChildren(); i++ {
+			c := n.Child(i)
+			if id, ok := c.(*isps.Ident); ok && id.Name == name {
+				if _, isAssign := n.(*isps.AssignStmt); isAssign && i == 0 {
+					if _, isIdent := repl.(*isps.Ident); !isIdent {
+						return false
+					}
+				}
+				n.SetChild(i, repl.Clone())
+				total++
+				continue
+			}
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(root) {
+		return -1
+	}
+	return total
+}
+
+// countIdent counts occurrences of Ident(name) under root.
+func countIdent(root isps.Node, name string) int {
+	n := 0
+	isps.Walk(root, func(m isps.Node, _ isps.Path) bool {
+		if id, ok := m.(*isps.Ident); ok && id.Name == name {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// addRegDecl declares a new register in the description's STATE section (or
+// the first section when none is named STATE), with a comment.
+func addRegDecl(d *isps.Description, name string, width int, comment string) {
+	target := d.Sections[0]
+	for _, s := range d.Sections {
+		if s.Name == "STATE" {
+			target = s
+			break
+		}
+	}
+	target.Decls = append(target.Decls, &isps.RegDecl{Name: name, Width: width, Comment: comment})
+}
+
+// removeRegDecl deletes the named register declaration; it reports whether
+// a declaration was removed.
+func removeRegDecl(d *isps.Description, name string) bool {
+	for _, s := range d.Sections {
+		for i, dec := range s.Decls {
+			if r, ok := dec.(*isps.RegDecl); ok && r.Name == name {
+				s.Decls = append(s.Decls[:i], s.Decls[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inputStmtInfo locates the routine's input statement: its block, index and
+// the statement itself.
+func inputStmtInfo(d *isps.Description) (*isps.Block, int, *isps.InputStmt, error) {
+	_, body, err := routineBody(d)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for i, s := range body.Stmts {
+		if in, ok := s.(*isps.InputStmt); ok {
+			return body, i, in, nil
+		}
+	}
+	return nil, 0, nil, fmt.Errorf("transform: %s has no input statement", d.Name)
+}
+
+// negEquiv reports whether cond b is the syntactic negation of cond a:
+// either b == not a (or a == not b), or the operators are complementary
+// comparisons over equal operands (= vs <>, < vs >=, > vs <=).
+func negEquiv(a, b isps.Expr) bool {
+	if u, ok := b.(*isps.Un); ok && u.Op == isps.OpNot && isps.Equal(a, u.X) {
+		return true
+	}
+	if u, ok := a.(*isps.Un); ok && u.Op == isps.OpNot && isps.Equal(b, u.X) {
+		return true
+	}
+	x, ok1 := a.(*isps.Bin)
+	y, ok2 := b.(*isps.Bin)
+	if !ok1 || !ok2 || !isps.Equal(x.X, y.X) || !isps.Equal(x.Y, y.Y) {
+		return false
+	}
+	comp := map[isps.Op]isps.Op{
+		isps.OpEq: isps.OpNe, isps.OpNe: isps.OpEq,
+		isps.OpLt: isps.OpGe, isps.OpGe: isps.OpLt,
+		isps.OpGt: isps.OpLe, isps.OpLe: isps.OpGt,
+	}
+	return comp[x.Op] == y.Op
+}
+
+// liveAtLoopExit runs liveness over the routine and reports whether name
+// may be read once the loop at absolute path loopAt exits.
+func liveAtLoopExit(d *isps.Description, loopAt isps.Path, name string) (bool, error) {
+	_, body, err := routineBody(d)
+	if err != nil {
+		return true, err
+	}
+	rel, err := bodyRelative(d, loopAt)
+	if err != nil {
+		return true, err
+	}
+	g := dataflow.BuildCFG(body, dataflow.FuncMap(d))
+	return g.Liveness().LiveAtLoopExit(rel, name)
+}
+
+// liveAfterStmt reports whether name may be read after the statement at
+// absolute path stmtAt executes.
+func liveAfterStmt(d *isps.Description, stmtAt isps.Path, name string) (bool, error) {
+	_, body, err := routineBody(d)
+	if err != nil {
+		return true, err
+	}
+	rel, err := bodyRelative(d, stmtAt)
+	if err != nil {
+		return true, err
+	}
+	g := dataflow.BuildCFG(body, dataflow.FuncMap(d))
+	return g.Liveness().LiveAfter(rel, name)
+}
