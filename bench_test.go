@@ -17,6 +17,7 @@ import (
 	"extra/internal/core"
 	"extra/internal/hll"
 	"extra/internal/isps"
+	"extra/internal/obs"
 	"extra/internal/proofs"
 	"extra/internal/transform"
 )
@@ -35,9 +36,15 @@ func BenchmarkTable1Survey(b *testing.B) {
 }
 
 // benchAnalysis runs one Table 2 analysis to common form per iteration and
-// reports its step count.
+// reports its step count, plus the per-iteration transformation application
+// and precondition-failure counts drawn from the metrics registry (failures
+// come from the tactic and auto-search probes; a rising preconds/op is an
+// early sign a script started leaning on search).
 func benchAnalysis(b *testing.B, a *proofs.Analysis) {
 	b.Helper()
+	reg := obs.Default()
+	applied0 := reg.Total("transform.applied")
+	precond0 := reg.Total("transform.precond")
 	var steps int
 	for i := 0; i < b.N; i++ {
 		_, bind, err := a.Run()
@@ -48,6 +55,8 @@ func benchAnalysis(b *testing.B, a *proofs.Analysis) {
 	}
 	b.ReportMetric(float64(steps), "steps")
 	b.ReportMetric(float64(a.PaperSteps), "paper-steps")
+	b.ReportMetric(float64(reg.Total("transform.applied")-applied0)/float64(b.N), "applies/op")
+	b.ReportMetric(float64(reg.Total("transform.precond")-precond0)/float64(b.N), "preconds/op")
 }
 
 // BenchmarkTable2 has one sub-benchmark per analysis in the paper's

@@ -11,20 +11,35 @@
 //	extra extensions          the beyond-paper analyses (extended mode)
 //	extra xforms [category]   the 75-transformation library
 //	extra desc NAME           print a corpus description (e.g. scasb, index)
+//	extra stats               run the pipeline and print the metrics report
+//
+// The analysis-running commands (analyze, trace, table2) accept a
+// `--trace FILE` flag that writes every span and event of the run —
+// per-transformation applications, equivalence checks, interpreter
+// validations, code-generator emissions — as JSON lines to FILE.
+// `extra stats` accepts -cpuprofile and -memprofile for pprof output.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
 	"extra/internal/catalog"
+	"extra/internal/codegen"
 	"extra/internal/core"
+	"extra/internal/gg"
+	"extra/internal/hll"
 	"extra/internal/isps"
 	"extra/internal/langops"
 	"extra/internal/machines"
+	"extra/internal/obs"
 	"extra/internal/proofs"
 	"extra/internal/transform"
 )
@@ -37,15 +52,26 @@ func main() {
 }
 
 func run(args []string) error {
+	args, traceFile, err := extractTrace(args)
+	if err != nil {
+		return err
+	}
 	if len(args) == 0 {
-		usage()
-		return nil
+		usage(os.Stderr)
+		return fmt.Errorf("no command given")
+	}
+	if traceFile != "" {
+		switch args[0] {
+		case "analyze", "trace", "table2":
+		default:
+			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2)", args[0])
+		}
 	}
 	switch args[0] {
 	case "survey":
 		return survey()
 	case "table2":
-		return table2()
+		return withTracer(traceFile, table2)
 	case "fig":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra fig N (1-5)")
@@ -55,7 +81,11 @@ func run(args []string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra %s INSTRUCTION/OPERATOR (e.g. scasb/index)", args[0])
 		}
-		return analyze(args[1], args[0] == "trace")
+		return withTracer(traceFile, func(tr *obs.Tracer) error {
+			return analyze(args[1], args[0] == "trace", tr)
+		})
+	case "stats":
+		return stats(args[1:])
 	case "binding":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
@@ -77,14 +107,15 @@ func run(args []string) error {
 		}
 		return desc(args[1])
 	case "help", "-h", "--help":
-		usage()
+		usage(os.Stdout)
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (try: extra help)", args[0])
+	usage(os.Stderr)
+	return fmt.Errorf("unknown command %q", args[0])
 }
 
-func usage() {
-	fmt.Println(`EXTRA — Exotic Instruction Transformational Analysis System
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `EXTRA — Exotic Instruction Transformational Analysis System
 (reproduction of Morgan & Rowe, SIGPLAN '82)
 
   extra survey              Table 1: the exotic instruction survey
@@ -96,7 +127,57 @@ func usage() {
   extra extensions          beyond-paper analyses (extended mode)
   extra xforms [category]   the transformation library
   extra binding INS/OP      emit the binding as the JSON compiler interface
-  extra desc NAME           print a corpus description`)
+  extra desc NAME           print a corpus description
+  extra stats               run the whole pipeline, print the metrics report
+                            (-cpuprofile FILE, -memprofile FILE for pprof)
+
+analyze, trace and table2 accept --trace FILE to write a JSONL event trace.`)
+}
+
+// extractTrace pulls a `--trace FILE` flag (also -trace FILE, --trace=FILE)
+// out of args, returning the remaining arguments and the file name ("" when
+// the flag is absent).
+func extractTrace(args []string) (rest []string, file string, err error) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "--trace" || a == "-trace":
+			if i+1 >= len(args) {
+				return nil, "", fmt.Errorf("%s needs a file argument", a)
+			}
+			file = args[i+1]
+			i++
+		case strings.HasPrefix(a, "--trace="):
+			file = strings.TrimPrefix(a, "--trace=")
+		case strings.HasPrefix(a, "-trace="):
+			file = strings.TrimPrefix(a, "-trace=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, file, nil
+}
+
+// withTracer runs fn with a JSONL tracer over file (nil tracer when file is
+// empty). The tracer is also installed as the process default for the
+// duration, so code-generator and selector events land in the same stream
+// as the session's.
+func withTracer(file string, fn func(tr *obs.Tracer) error) error {
+	if file == "" {
+		return fn(nil)
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTracer(obs.NewJSONLSink(f))
+	prev := obs.SetTrace(tr)
+	defer obs.SetTrace(prev)
+	err = fn(tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func survey() error {
@@ -118,11 +199,11 @@ func survey() error {
 	return nil
 }
 
-func table2() error {
+func table2(tr *obs.Tracer) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Machine\tInstruction\tLanguage\tOperation\tSteps\tElementary\tPaper")
 	for _, a := range proofs.Table2() {
-		_, b, err := a.Run()
+		_, b, err := a.RunObserved(tr)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %v", a.Instruction, a.Operator, err)
 		}
@@ -203,12 +284,12 @@ func findAnalysis(pair string) (*proofs.Analysis, error) {
 	return nil, fmt.Errorf("no analysis %s (try: extra table2)", pair)
 }
 
-func analyze(pair string, trace bool) error {
+func analyze(pair string, trace bool, tr *obs.Tracer) error {
 	a, err := findAnalysis(pair)
 	if err != nil {
 		return err
 	}
-	s, b, err := a.Run()
+	s, b, err := a.RunObserved(tr)
 	if err != nil {
 		return err
 	}
@@ -223,7 +304,7 @@ func analyze(pair string, trace bool) error {
 		fmt.Println()
 	}
 	fmt.Print(b.Describe())
-	n, err := core.ValidateBinding(b, a.Gen, 300, 1)
+	n, err := core.ValidateBindingTraced(b, a.Gen, 300, 1, tr)
 	if err != nil {
 		return fmt.Errorf("differential validation FAILED: %v", err)
 	}
@@ -294,6 +375,106 @@ func xforms(cat string) error {
 	}
 	fmt.Printf("\n%d transformations\n", len(list))
 	return nil
+}
+
+// statsSrc is the sample program `extra stats` compiles for every target,
+// so the report also covers code-generator behavior: exotic emissions,
+// decomposition fallbacks, chunk rewriting, constraint checks.
+const statsSrc = `
+data 100 "exotic instructions"
+let i = index 100 19 'x'
+print i
+move 200 100 19
+let e = compare 100 200 19
+print e
+clear 200 19
+let s = add i 10
+print s
+`
+
+// stats runs the whole pipeline — all eleven Table 2 analyses with
+// differential validation, a sample compile on every code-generator
+// target, and a table-driven selection — against a fresh metrics registry
+// and prints the registry as deterministic JSON. -cpuprofile/-memprofile
+// write pprof profiles of the run.
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the run to `file`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+	if err := statsRun(); err != nil {
+		return err
+	}
+	if err := statsReport(os.Stdout); err != nil {
+		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsRun exercises every instrumented layer: the analyses populate the
+// transform/session/equiv metrics, validation populates the interpreter and
+// constraint metrics, the sample compiles populate the per-target codegen
+// metrics, and the table-driven selection populates the rule-firing counts.
+func statsRun() error {
+	for _, a := range proofs.Table2() {
+		_, b, err := a.Run()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %v", a.Instruction, a.Operator, err)
+		}
+		if _, err := core.ValidateBinding(b, a.Gen, 60, 1); err != nil {
+			return fmt.Errorf("%s/%s validation: %v", a.Instruction, a.Operator, err)
+		}
+	}
+	prog, err := hll.Parse(statsSrc)
+	if err != nil {
+		return err
+	}
+	for _, name := range codegen.Targets() {
+		tg, err := codegen.For(name)
+		if err != nil {
+			return err
+		}
+		if _, err := tg.Compile(prog, codegen.AllOn()); err != nil {
+			return fmt.Errorf("compile for %s: %v", name, err)
+		}
+	}
+	g := gg.NewGen(gg.Rules8086(), gg.Pool8086(), map[string]uint64{"r": 0xF000})
+	return g.GenStmt(gg.Assign("r", &gg.Tree{Op: "index", Kids: []*gg.Tree{
+		gg.Const(200), gg.Const(19), gg.Const('x'),
+	}}))
+}
+
+// statsReport writes the metrics report: the registry snapshot as indented
+// JSON with counters, gauges and histograms each sorted by (metric, label),
+// so the output is stable across runs and diffable.
+func statsReport(w io.Writer) error {
+	return obs.Default().WriteJSON(w)
 }
 
 func desc(name string) error {

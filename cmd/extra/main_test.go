@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"extra/internal/obs"
+	"extra/internal/proofs"
 )
 
 // TestMain silences the subcommands' stdout so test logs stay readable.
@@ -36,7 +43,7 @@ func TestCommandsRun(t *testing.T) {
 		{"desc", "scasb"},
 		{"desc", "index"},
 		{"help"},
-		{},
+		{"stats"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -47,6 +54,7 @@ func TestCommandsRun(t *testing.T) {
 
 func TestCommandErrors(t *testing.T) {
 	cases := [][]string{
+		{}, // no command: usage goes to stderr and the exit code is nonzero
 		{"bogus"},
 		{"fig"},
 		{"fig", "9"},
@@ -58,10 +66,119 @@ func TestCommandErrors(t *testing.T) {
 		{"xforms", "nocategory"},
 		{"desc", "nothing"},
 		{"desc"},
+		{"analyze", "scasb/index", "--trace"}, // missing file argument
+		{"survey", "--trace", "x"},           // command does not run analyses
+		{"stats", "-bogusflag"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("extra %v: expected an error", args)
 		}
+	}
+}
+
+// TestTraceFlagWritesJSONL runs one analysis with --trace and checks the
+// file holds one well-formed JSON event per line, covering every proof step.
+func TestTraceFlagWritesJSONL(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"analyze", "scasb/index", "--trace", file}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	applies := 0
+	for i, line := range lines {
+		var ev struct {
+			T     string         `json:"t"`
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.T == "" || ev.Name == "" {
+			t.Fatalf("line %d lacks t/name fields: %s", i+1, line)
+		}
+		if ev.Name == "transform.apply" {
+			applies++
+			if ev.Attrs["xform"] == "" || ev.Attrs["outcome"] == "" {
+				t.Errorf("transform.apply event lacks xform/outcome: %s", line)
+			}
+		}
+	}
+	// The scasb/index analysis takes 38 recorded steps (Table 2 reports 30
+	// for the paper's coarser steps); every one must appear in the trace.
+	if applies < 30 {
+		t.Errorf("want >=30 transform.apply events (one per proof step), got %d", applies)
+	}
+}
+
+// TestStatsReportShape checks the report is valid JSON with deterministic
+// ordering and that it covers per-transformation counts and per-analysis
+// step counts for all eleven Table 2 analyses — the acceptance bar for the
+// observability layer.
+func TestStatsReportShape(t *testing.T) {
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+	if err := statsRun(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := statsReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	var rep struct {
+		Counters []struct {
+			Metric string `json:"metric"`
+			Label  string `json:"label"`
+			Value  uint64 `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Metric string `json:"metric"`
+			Label  string `json:"label"`
+			Value  int64  `json:"value"`
+		} `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	for i := 1; i < len(rep.Counters); i++ {
+		a, b := rep.Counters[i-1], rep.Counters[i]
+		if a.Metric > b.Metric || (a.Metric == b.Metric && a.Label >= b.Label) {
+			t.Errorf("counters not sorted at %d: %v >= %v", i, a, b)
+		}
+	}
+	applied := map[string]bool{}
+	for _, c := range rep.Counters {
+		if c.Metric == "transform.applied" && c.Value > 0 {
+			applied[c.Label] = true
+		}
+	}
+	if len(applied) < 10 {
+		t.Errorf("want per-transformation applied counts for many transformations, got %d", len(applied))
+	}
+	steps := map[string]bool{}
+	for _, g := range rep.Gauges {
+		if g.Metric == "analysis.steps" && g.Value > 0 {
+			steps[g.Label] = true
+		}
+	}
+	for _, a := range proofs.Table2() {
+		if label := a.Instruction + "/" + a.Operator; !steps[label] {
+			t.Errorf("report lacks analysis.steps for %s", label)
+		}
+	}
+	// A second report over the same registry must be byte-identical: the
+	// ordering is part of the output contract.
+	var again bytes.Buffer
+	if err := statsReport(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first {
+		t.Error("two reports over the same registry differ; ordering is unstable")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"extra/internal/constraint"
 	"extra/internal/core"
 	"extra/internal/ir"
+	"extra/internal/obs"
 	"extra/internal/proofs"
 	"extra/internal/sim"
 )
@@ -175,6 +176,7 @@ func offsetFor(b *core.Binding, operand string) int64 {
 
 // emitter is the shared per-compilation state.
 type emitter struct {
+	target  string
 	code    []sim.Instr
 	data    []DataSeg
 	varAddr map[string]uint64
@@ -182,8 +184,8 @@ type emitter struct {
 	opts    Options
 }
 
-func newEmitter(p *ir.Prog, frameBase uint64, slot uint64, o Options) *emitter {
-	e := &emitter{varAddr: map[string]uint64{}, opts: o}
+func newEmitter(target string, p *ir.Prog, frameBase uint64, slot uint64, o Options) *emitter {
+	e := &emitter{target: target, varAddr: map[string]uint64{}, opts: o}
 	for i, v := range p.Vars() {
 		e.varAddr[v] = frameBase + uint64(i)*slot
 	}
@@ -191,6 +193,24 @@ func newEmitter(p *ir.Prog, frameBase uint64, slot uint64, o Options) *emitter {
 }
 
 func (e *emitter) emit(ins ...sim.Instr) { e.code = append(e.code, ins...) }
+
+// noteEmit records whether a string operator compiled to an exotic
+// instruction from a binding or decomposed into a primitive loop: the
+// counter `codegen.exotic` / `codegen.decomposed` labeled target/op, plus
+// a trace event on the process tracer when one is installed. The ratio of
+// the two counters is the paper's section 6 claim made measurable.
+func (e *emitter) noteEmit(op string, exotic bool) {
+	kind := "decomposed"
+	if exotic {
+		kind = "exotic"
+	}
+	obs.Default().Inc("codegen."+kind, e.target+"/"+op)
+	if tr := obs.Trace(); tr.Enabled() {
+		tr.Event("codegen.emit", map[string]any{
+			"target": e.target, "op": op, "kind": kind,
+		})
+	}
+}
 
 func (e *emitter) label(prefix string) string {
 	e.nlabel++
@@ -208,6 +228,16 @@ func userLabel(name string) string { return "U_" + name }
 // for the named binding operand; variable operands satisfy it only when
 // varMax (the largest value a target variable can hold) fits the range.
 func constOK(b *core.Binding, operand string, v ir.Value, varMax uint64) bool {
+	sat := constSat(b, operand, v, varMax)
+	if sat {
+		obs.Default().Inc("constraint.check", "sat")
+	} else {
+		obs.Default().Inc("constraint.check", "unsat")
+	}
+	return sat
+}
+
+func constSat(b *core.Binding, operand string, v ir.Value, varMax uint64) bool {
 	min, max, ok := rangeFor(b, operand)
 	if !ok {
 		return true

@@ -25,7 +25,7 @@ func (t target8086) Compile(p *ir.Prog, o Options) (*Program, error) {
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	e := newEmitter(p, frame8086, 2, o)
+	e := newEmitter("i8086", p, frame8086, 2, o)
 	for _, ins := range p.Ins {
 		if err := e.ins8086(ins); err != nil {
 			return nil, err
@@ -141,6 +141,7 @@ func (e *emitter) index8086(ins ir.Ins) error {
 	if !ok {
 		return e.indexLoop8086(ins)
 	}
+	e.noteEmit("index", true)
 	e.load8086("di", ins.Args[0])
 	e.load8086("cx", ins.Args[1])
 	e.load8086("al", ins.Args[2])
@@ -165,6 +166,7 @@ func (e *emitter) index8086(ins ir.Ins) error {
 // indexLoop8086 is the decomposition rule for string search. The sought
 // character is masked to a byte, matching the operator's character type.
 func (e *emitter) indexLoop8086(ins ir.Ins) error {
+	e.noteEmit("index", false)
 	e.load8086("si", ins.Args[0])
 	e.load8086("cx", ins.Args[1])
 	e.load8086("dx", ins.Args[2])
@@ -207,6 +209,7 @@ func (e *emitter) move8086(ins ir.Ins) error {
 	if !ok {
 		return e.moveLoop8086(ins)
 	}
+	e.noteEmit("move", true)
 	e.load8086("si", src)
 	e.load8086("di", dst)
 	e.load8086("cx", n)
@@ -218,6 +221,7 @@ func (e *emitter) move8086(ins ir.Ins) error {
 }
 
 func (e *emitter) moveLoop8086(ins ir.Ins) error {
+	e.noteEmit("move", false)
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load8086("si", src)
 	e.load8086("di", dst)
@@ -251,6 +255,7 @@ func (e *emitter) clear8086(ins ir.Ins) error {
 	if !ok {
 		return e.clearLoop8086(ins)
 	}
+	e.noteEmit("clear", true)
 	e.load8086("di", dst)
 	e.load8086("cx", n)
 	e.emit(
@@ -262,6 +267,7 @@ func (e *emitter) clear8086(ins ir.Ins) error {
 }
 
 func (e *emitter) clearLoop8086(ins ir.Ins) error {
+	e.noteEmit("clear", false)
 	dst, n := ins.Args[0], ins.Args[1]
 	e.load8086("di", dst)
 	e.load8086("cx", n)
@@ -294,6 +300,7 @@ func (e *emitter) compare8086(ins ir.Ins) error {
 	if !ok {
 		return e.compareLoop8086(ins)
 	}
+	e.noteEmit("compare", true)
 	e.load8086("si", a)
 	e.load8086("di", bb)
 	e.load8086("cx", n)
@@ -315,6 +322,7 @@ func (e *emitter) compare8086(ins ir.Ins) error {
 }
 
 func (e *emitter) compareLoop8086(ins ir.Ins) error {
+	e.noteEmit("compare", false)
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load8086("si", a)
 	e.load8086("di", bb)
@@ -351,6 +359,7 @@ func (e *emitter) translate8086(ins ir.Ins) error {
 	e.load8086("cx", n)
 	top, done := e.label("Lt"), e.label("Ld")
 	if e.opts.Exotic {
+		e.noteEmit("translate", true)
 		// bx is loaded last: variable loads themselves go through bx.
 		e.load8086("bx", table)
 		e.emit(
@@ -366,6 +375,7 @@ func (e *emitter) translate8086(ins ir.Ins) error {
 		)
 		return nil
 	}
+	e.noteEmit("translate", false)
 	e.load8086("dx", table)
 	e.emit(
 		sim.Ins("cmp", sim.R("cx"), sim.I(0)),

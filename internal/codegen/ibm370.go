@@ -29,7 +29,7 @@ func (t target370) Compile(p *ir.Prog, o Options) (*Program, error) {
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	e := newEmitter(p, frame370, 4, o)
+	e := newEmitter("ibm370", p, frame370, 4, o)
 	for _, ins := range p.Ins {
 		if err := e.ins370(ins); err != nil {
 			return nil, err
@@ -140,6 +140,7 @@ func (e *emitter) move370(ins ir.Ins) error {
 	delta := offsetFor(b, "Len2")
 	min, max, _ := rangeFor(b, "Len2")
 	if n.IsConst && n.Const >= min && n.Const <= max {
+		e.noteEmit("move", true)
 		e.load370("r2", dst)
 		e.load370("r3", src)
 		e.emit(sim.Ins("mvc", sim.I(uint64(int64(n.Const)+delta)), sim.M("r2"), sim.M("r3")))
@@ -151,6 +152,7 @@ func (e *emitter) move370(ins ir.Ins) error {
 	if !e.opts.Rewriting {
 		return e.moveLoop370(ins)
 	}
+	e.noteEmit("move", true)
 	// Rewriting rule: consecutive mvcs of at most 256 bytes. A constant
 	// length unrolls statically; a variable length runs the chunk loop
 	// with the length in a register (the EX idiom).
@@ -197,6 +199,7 @@ func (e *emitter) move370(ins ir.Ins) error {
 }
 
 func (e *emitter) moveLoop370(ins ir.Ins) error {
+	e.noteEmit("move", false)
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load370("r2", dst)
 	e.load370("r3", src)
@@ -231,6 +234,7 @@ func (e *emitter) clear370(ins ir.Ins) error {
 		return nil
 	}
 	if n.IsConst && n.Const <= 257 {
+		e.noteEmit("clear", true)
 		e.load370("r2", dst)
 		e.emit(sim.Ins("mvi", sim.M("r2"), sim.I(0)))
 		if n.Const > 1 {
@@ -242,6 +246,7 @@ func (e *emitter) clear370(ins ir.Ins) error {
 		}
 		return nil
 	}
+	e.noteEmit("clear", true)
 	// Larger or variable clears: zero the first byte then propagate in
 	// chunks with the overlap running one byte behind.
 	e.load370("r2", dst)
@@ -272,6 +277,7 @@ func (e *emitter) clear370(ins ir.Ins) error {
 }
 
 func (e *emitter) clearLoop370(ins ir.Ins) error {
+	e.noteEmit("clear", false)
 	dst, n := ins.Args[0], ins.Args[1]
 	e.load370("r2", dst)
 	e.load370("r4", n)
@@ -301,6 +307,7 @@ func (e *emitter) compare370(ins ir.Ins) error {
 	delta := offsetFor(b, "LenC")
 	min, max, _ := rangeFor(b, "LenC")
 	if e.opts.Exotic && n.IsConst && n.Const >= min && n.Const <= max {
+		e.noteEmit("compare", true)
 		e.load370("r2", a)
 		e.load370("r3", bb)
 		eq, done := e.label("Le"), e.label("Ld")
@@ -326,6 +333,7 @@ func (e *emitter) compare370(ins ir.Ins) error {
 }
 
 func (e *emitter) compareLoop370(ins ir.Ins) error {
+	e.noteEmit("compare", false)
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load370("r2", a)
 	e.load370("r3", bb)
@@ -355,6 +363,7 @@ func (e *emitter) compareLoop370(ins ir.Ins) error {
 // indexLoop370 decomposes string search (no 370 search binding was proved;
 // trt is future work).
 func (e *emitter) indexLoop370(ins ir.Ins) error {
+	e.noteEmit("index", false)
 	base, n, ch := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load370("r2", base)
 	e.load370("r4", n)
@@ -401,6 +410,7 @@ func (e *emitter) translate370(ins ir.Ins) error {
 	delta := offsetFor(b, "LenT")
 	min, max, _ := rangeFor(b, "LenT")
 	if n.IsConst && n.Const >= min && n.Const <= max {
+		e.noteEmit("translate", true)
 		e.load370("r2", base)
 		e.load370("r3", table)
 		e.emit(sim.Ins("tr", sim.I(uint64(int64(n.Const)+delta)), sim.M("r2"), sim.M("r3")))
@@ -412,6 +422,7 @@ func (e *emitter) translate370(ins ir.Ins) error {
 	if !e.opts.Rewriting {
 		return e.translateLoop370(ins)
 	}
+	e.noteEmit("translate", true)
 	e.load370("r2", base)
 	e.load370("r3", table)
 	e.load370("r4", n)
@@ -435,6 +446,7 @@ func (e *emitter) translate370(ins ir.Ins) error {
 }
 
 func (e *emitter) translateLoop370(ins ir.Ins) error {
+	e.noteEmit("translate", false)
 	base, table, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.load370("r2", base)
 	e.load370("r3", table)

@@ -27,7 +27,7 @@ func (t targetVAX) Compile(p *ir.Prog, o Options) (*Program, error) {
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
-	e := newEmitter(p, frameVAX, 4, o)
+	e := newEmitter("vax", p, frameVAX, 4, o)
 	for _, ins := range p.Ins {
 		if err := e.insVAX(ins); err != nil {
 			return nil, err
@@ -142,6 +142,7 @@ func (e *emitter) indexVAX(ins ir.Ins) error {
 	if !ok {
 		return e.indexLoopVAX(ins)
 	}
+	e.noteEmit("index", true)
 	e.loadVAX("r1", base)
 	e.loadVAX("r0", n)
 	e.loadVAX("r2", ch)
@@ -163,6 +164,7 @@ func (e *emitter) indexVAX(ins ir.Ins) error {
 }
 
 func (e *emitter) indexLoopVAX(ins ir.Ins) error {
+	e.noteEmit("index", false)
 	base, n, ch := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.loadVAX("r1", base)
 	e.loadVAX("r0", n)
@@ -206,6 +208,7 @@ func (e *emitter) moveVAX(ins ir.Ins) error {
 		return e.moveLoopVAX(ins)
 	}
 	if constOK(b, "Len", n, 0xffffffff) && n.IsConst {
+		e.noteEmit("move", true)
 		e.loadVAX("r6", n)
 		e.loadVAX("r7", src)
 		e.loadVAX("r8", dst)
@@ -215,6 +218,7 @@ func (e *emitter) moveVAX(ins ir.Ins) error {
 	if !e.opts.Rewriting {
 		return e.moveLoopVAX(ins)
 	}
+	e.noteEmit("move", true)
 	// Rewriting rule: move consecutive substrings of at most 65535 bytes.
 	e.loadVAX("r6", n)
 	e.loadVAX("r7", src)
@@ -239,6 +243,7 @@ func (e *emitter) moveVAX(ins ir.Ins) error {
 }
 
 func (e *emitter) moveLoopVAX(ins ir.Ins) error {
+	e.noteEmit("move", false)
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.loadVAX("r7", src)
 	e.loadVAX("r8", dst)
@@ -267,6 +272,7 @@ func (e *emitter) clearVAX(ins ir.Ins) error {
 	dst, n := ins.Args[0], ins.Args[1]
 	ok := e.opts.Exotic && constOK(b, "count", n, 0xffffffff)
 	if !ok && e.opts.Exotic && e.opts.Rewriting {
+		e.noteEmit("clear", true)
 		// Chunk the fill like the move.
 		e.loadVAX("r6", n)
 		e.loadVAX("r8", dst)
@@ -290,6 +296,7 @@ func (e *emitter) clearVAX(ins ir.Ins) error {
 	if !ok {
 		return e.clearLoopVAX(ins)
 	}
+	e.noteEmit("clear", true)
 	e.loadVAX("r6", n)
 	e.loadVAX("r8", dst)
 	// movc5 srclen=0, src immaterial, fill=0, dstlen, dst: the fixed
@@ -299,6 +306,7 @@ func (e *emitter) clearVAX(ins ir.Ins) error {
 }
 
 func (e *emitter) clearLoopVAX(ins ir.Ins) error {
+	e.noteEmit("clear", false)
 	dst, n := ins.Args[0], ins.Args[1]
 	e.loadVAX("r8", dst)
 	e.loadVAX("r6", n)
@@ -326,6 +334,7 @@ func (e *emitter) compareVAX(ins ir.Ins) error {
 	if !ok {
 		return e.compareLoopVAX(ins)
 	}
+	e.noteEmit("compare", true)
 	e.loadVAX("r0", n)
 	e.loadVAX("r1", a)
 	e.loadVAX("r3", bb)
@@ -345,6 +354,7 @@ func (e *emitter) compareVAX(ins ir.Ins) error {
 }
 
 func (e *emitter) compareLoopVAX(ins ir.Ins) error {
+	e.noteEmit("compare", false)
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.loadVAX("r1", a)
 	e.loadVAX("r3", bb)
@@ -374,6 +384,7 @@ func (e *emitter) compareLoopVAX(ins ir.Ins) error {
 // translateLoopVAX translates byte by byte (no VAX translate binding was
 // proved; movtc is listed as a future analysis).
 func (e *emitter) translateLoopVAX(ins ir.Ins) error {
+	e.noteEmit("translate", false)
 	base, table, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	e.loadVAX("r7", base)
 	e.loadVAX("r8", table)

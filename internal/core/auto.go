@@ -81,8 +81,13 @@ func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
 				if cand.side == OpSide {
 					d = st.op
 				}
+				s.Metrics.Inc("auto.explored", cand.xform)
 				out, err := tr.Apply(d, cand.at, transform.Args{"dir": "down"})
-				if err != nil || len(out.Constraints) > 0 {
+				if err != nil {
+					s.noteProbe(cand.xform, err)
+					continue
+				}
+				if len(out.Constraints) > 0 {
 					continue
 				}
 				if cand.side == OpSide {

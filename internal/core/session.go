@@ -11,10 +11,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"extra/internal/constraint"
 	"extra/internal/equiv"
 	"extra/internal/isps"
+	"extra/internal/obs"
 	"extra/internal/transform"
 )
 
@@ -77,6 +79,14 @@ type Session struct {
 	// future-work mode); classic EXTRA rejects them.
 	Extended bool
 
+	// Tracer receives structured events for every step (application
+	// outcome, cursor path, duration) and for Finish. A nil tracer is a
+	// no-op and adds no allocations on the apply path.
+	Tracer *obs.Tracer
+	// Metrics receives step counters and latency histograms; NewSession
+	// defaults it to the process registry (obs.Default()).
+	Metrics *obs.Registry
+
 	Steps []Step
 	// Elementary counts the paper-granularity rewrites: each step
 	// contributes its transformation's elementary edit count (at least 1).
@@ -105,8 +115,65 @@ func NewSession(op, ins *isps.Description) (*Session, error) {
 		OrigIns:   ins.CloneDesc(),
 		Variant:   ins.CloneDesc(),
 		OpVariant: op.CloneDesc(),
+		Metrics:   obs.Default(),
 		snapshots: map[string]*isps.Description{},
 	}, nil
+}
+
+// Step outcomes recorded by the observability layer.
+const (
+	outcomeApplied = "applied"
+	outcomePrecond = "precondition-failed"
+	outcomeError   = "error"
+)
+
+// noteApply records one application attempt's metrics and trace event.
+// detail is the precondition message or error text on failures, the
+// outcome note on success.
+func (s *Session) noteApply(side Side, name string, at isps.Path, dur time.Duration, outcome, detail string) {
+	switch outcome {
+	case outcomeApplied:
+		s.Metrics.Inc("transform.applied", name)
+	case outcomePrecond:
+		s.Metrics.Inc("transform.precond", name)
+		s.Metrics.Inc("transform.precond.reason", truncate(name+": "+detail, 120))
+	default:
+		s.Metrics.Inc("transform.error", name)
+	}
+	s.Metrics.Observe("transform.apply.ns", name, uint64(dur))
+	if s.Tracer.Enabled() {
+		attrs := map[string]any{
+			"side":    side.String(),
+			"xform":   name,
+			"at":      at.String(),
+			"dur_ns":  dur.Nanoseconds(),
+			"outcome": outcome,
+		}
+		if detail != "" {
+			attrs["detail"] = detail
+		}
+		s.Tracer.Event("transform.apply", attrs)
+	}
+}
+
+// noteProbe counts a speculative application attempt (tactics and the
+// auto-search probe before committing a step) that failed: metrics only,
+// no trace event — probes are pruned work, not steps. The pruned/explored
+// ratio is the primary tuning signal for search-shaped analyses.
+func (s *Session) noteProbe(name string, err error) {
+	if pe, ok := transform.AsPrecond(err); ok {
+		s.Metrics.Inc("transform.precond", name)
+		s.Metrics.Inc("transform.precond.reason", truncate(name+": "+pe.Msg, 120))
+	} else {
+		s.Metrics.Inc("transform.error", name)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
 }
 
 // Desc returns the current description of the given side.
@@ -124,23 +191,38 @@ func (s *Session) Desc(side Side) *isps.Description {
 func (s *Session) Apply(side Side, name string, at isps.Path, args transform.Args) error {
 	tr, err := transform.Get(name)
 	if err != nil {
+		s.noteApply(side, name, at, 0, outcomeError, err.Error())
 		return err
 	}
 	if tr.Effect == transform.Augmenting && side == OpSide {
-		return fmt.Errorf("core: augments produce instruction variants; they cannot apply to the %s description", side)
+		err := fmt.Errorf("core: augments produce instruction variants; they cannot apply to the %s description", side)
+		s.noteApply(side, name, at, 0, outcomeError, err.Error())
+		return err
 	}
+	start := time.Now()
 	out, err := tr.Apply(s.Desc(side), at, args)
+	dur := time.Since(start)
 	if err != nil {
+		if pe, ok := transform.AsPrecond(err); ok {
+			s.noteApply(side, name, at, dur, outcomePrecond, pe.Msg)
+		} else {
+			s.noteApply(side, name, at, dur, outcomeError, err.Error())
+		}
 		return err
 	}
 	for _, c := range out.Constraints {
 		if c.Kind == constraint.Predicate && !s.Extended {
-			return fmt.Errorf("%w (from %s: %s)", ErrComplexConstraint, name, c.Pred)
+			err := fmt.Errorf("%w (from %s: %s)", ErrComplexConstraint, name, c.Pred)
+			s.noteApply(side, name, at, dur, outcomeError, err.Error())
+			return err
 		}
 	}
 	if err := isps.Validate(out.Desc); err != nil {
-		return fmt.Errorf("core: %s produced an invalid description: %v", name, err)
+		err = fmt.Errorf("core: %s produced an invalid description: %v", name, err)
+		s.noteApply(side, name, at, dur, outcomeError, err.Error())
+		return err
 	}
+	s.noteApply(side, name, at, dur, outcomeApplied, out.Note)
 	if side == OpSide {
 		s.Op = out.Desc
 		if tr.Effect != transform.Preserving {
@@ -245,9 +327,26 @@ type Binding struct {
 // binding. The width-induced range constraints from the match are added to
 // the constraints accumulated by the steps.
 func (s *Session) Finish() (*Binding, error) {
+	start := time.Now()
 	m, err := equiv.CommonForm(s.Op, s.Ins)
+	s.Metrics.ObserveSince("session.finish.ns", s.Instruction+"/"+s.Operation, start)
 	if err != nil {
+		s.Metrics.Inc("session.finish", "mismatch")
+		if s.Tracer.Enabled() {
+			s.Tracer.Event("session.finish", map[string]any{
+				"instruction": s.Instruction, "operation": s.Operation,
+				"outcome": "mismatch", "detail": err.Error(), "steps": len(s.Steps),
+			})
+		}
 		return nil, err
+	}
+	s.Metrics.Inc("session.finish", "ok")
+	if s.Tracer.Enabled() {
+		s.Tracer.Event("session.finish", map[string]any{
+			"instruction": s.Instruction, "operation": s.Operation,
+			"outcome": "ok", "mapping_size": len(m.VarMap), "steps": len(s.Steps),
+			"elementary": s.Elementary,
+		})
 	}
 	b := &Binding{
 		Machine:     s.Machine,

@@ -52,6 +52,7 @@ func (s *Session) Normalize(side Side) (int, error) {
 					return steps, err
 				}
 				if _, err := tr.Apply(d, p, nil); err != nil {
+					s.noteProbe(name, err)
 					continue
 				}
 				if err := s.Apply(side, name, p, nil); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"extra/internal/constraint"
 	"extra/internal/interp"
+	"extra/internal/obs"
 )
 
 // InputGen produces a random operator input vector (matching the operator's
@@ -26,6 +27,28 @@ type InputGen func(rng *rand.Rand) (opInputs []uint64, mem map[uint64]byte)
 // against production compilers (section 5), and it is the check that found
 // "obscure bugs in the use of VAX-11 instructions in each compiler" there.
 func ValidateBinding(b *Binding, gen InputGen, rounds int, seed int64) (int, error) {
+	return ValidateBindingTraced(b, gen, rounds, seed, nil)
+}
+
+// ValidateBindingTraced is ValidateBinding with a span on the given tracer
+// bounding the differential run (attrs: binding, rounds requested, inputs
+// actually checked, outcome). Constraint evaluations and interpreter runs
+// are counted in the process metrics registry either way.
+func ValidateBindingTraced(b *Binding, gen InputGen, rounds int, seed int64, tr *obs.Tracer) (n int, err error) {
+	reg := obs.Default()
+	label := b.Instruction + "/" + b.Operation
+	reg.Inc("validate.runs", label)
+	if tr.Enabled() {
+		sp := tr.StartSpan("validate", map[string]any{"binding": label, "rounds": rounds})
+		defer func() {
+			attrs := map[string]any{"checked": n, "outcome": "ok"}
+			if err != nil {
+				attrs["outcome"] = "refuted"
+				attrs["detail"] = err.Error()
+			}
+			sp.End(attrs)
+		}()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	checked := 0
 	for r := 0; r < rounds; r++ {
@@ -55,9 +78,11 @@ func ValidateBinding(b *Binding, gen InputGen, rounds int, seed int64) (int, err
 				return checked, fmt.Errorf("core: cannot evaluate constraint %s: %v", c, err)
 			}
 			if !sat {
+				reg.Inc("constraint.check", "unsat")
 				ok = false
 				break
 			}
+			reg.Inc("constraint.check", "sat")
 		}
 		if !ok {
 			continue

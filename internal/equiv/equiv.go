@@ -14,6 +14,7 @@ import (
 
 	"extra/internal/constraint"
 	"extra/internal/isps"
+	"extra/internal/obs"
 )
 
 // Match is the result of a successful common-form comparison.
@@ -43,8 +44,21 @@ type matcher struct {
 
 // CommonForm checks that op and ins are in common form and returns the
 // binding. Both descriptions must be fully inlined (no function
-// declarations may remain in use).
+// declarations may remain in use). Each comparison is counted in the
+// process metrics registry, with the operand-mapping size on success.
 func CommonForm(op, ins *isps.Description) (*Match, error) {
+	m, err := commonForm(op, ins)
+	r := obs.Default()
+	if err != nil {
+		r.Inc("equiv.compare", "mismatch")
+		return nil, err
+	}
+	r.Inc("equiv.compare", "ok")
+	r.Observe("equiv.mapping.size", "", uint64(len(m.VarMap)))
+	return m, nil
+}
+
+func commonForm(op, ins *isps.Description) (*Match, error) {
 	opR, insR := op.Routine(), ins.Routine()
 	if opR == nil || insR == nil {
 		return nil, fmt.Errorf("equiv: a description has no routine")

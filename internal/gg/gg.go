@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"extra/internal/obs"
 	"extra/internal/sim"
 )
 
@@ -255,6 +256,13 @@ func (g *Gen) match(goal string, toks []Tok, pos int) (int, Res, error) {
 		freeMark := append([]string(nil), g.free...)
 		end, res, err := g.applyRule(ri, toks, pos)
 		if err == nil {
+			// Counted at local success; an enclosing alternative may still
+			// roll the emitted code back, so treat the counter as rule
+			// applications, not retained emissions.
+			obs.Default().Inc("gg.rule.fired", g.rules[ri].Name)
+			if tr := obs.Trace(); tr.Enabled() {
+				tr.Event("gg.rule", map[string]any{"rule": g.rules[ri].Name, "goal": goal})
+			}
 			return end, res, nil
 		}
 		lastErr = err

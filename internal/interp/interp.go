@@ -22,8 +22,10 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"extra/internal/isps"
+	"extra/internal/obs"
 )
 
 // State is a concrete machine state: register values and main memory.
@@ -107,7 +109,23 @@ const DefaultStepLimit = 1 << 20
 // Run executes the description's routine against the given state, consuming
 // inputs at input statements. The state is mutated in place. limit bounds
 // the number of executed statements (<= 0 selects DefaultStepLimit).
+// Runs and executed-statement counts are recorded per description in the
+// process metrics registry.
 func Run(d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
+	start := time.Now()
+	res, err := runDesc(d, inputs, state, limit)
+	r := obs.Default()
+	if err != nil {
+		r.Inc("interp.run.err", d.Name)
+	} else {
+		r.Inc("interp.run", d.Name)
+		r.Observe("interp.steps", d.Name, uint64(res.Steps))
+	}
+	r.ObserveSince("interp.run.ns", d.Name, start)
+	return res, err
+}
+
+func runDesc(d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
 	if limit <= 0 {
 		limit = DefaultStepLimit
 	}

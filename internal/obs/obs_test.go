@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m", "a")
+	r.Add("m", "a", 4)
+	r.Inc("m", "b")
+	if got := r.Counter("m", "a"); got != 5 {
+		t.Errorf("Counter(m,a) = %d, want 5", got)
+	}
+	if got := r.Counter("m", "absent"); got != 0 {
+		t.Errorf("Counter(m,absent) = %d, want 0", got)
+	}
+	if got := r.Total("m"); got != 6 {
+		t.Errorf("Total(m) = %d, want 6", got)
+	}
+	r.Set("g", "x", -7)
+	if got := r.Gauge("g", "x"); got != -7 {
+		t.Errorf("Gauge(g,x) = %d, want -7", got)
+	}
+	r.Reset()
+	if got := r.Total("m"); got != 0 {
+		t.Errorf("Total(m) after Reset = %d, want 0", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Inc("m", "a")
+	r.Add("m", "a", 3)
+	r.Set("g", "x", 1)
+	r.Observe("h", "y", 9)
+	r.ObserveSince("h.ns", "y", time.Now())
+	r.Reset()
+	if r.Counter("m", "a") != 0 || r.Total("m") != 0 || r.Gauge("g", "x") != 0 {
+		t.Error("nil registry returned nonzero readings")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot is not empty")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []uint64{1, 2, 3, 100} {
+		r.Observe("h", "l", v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(snap.Histograms))
+	}
+	h := snap.Histograms[0]
+	if h.Count != 4 || h.Sum != 106 || h.Min != 1 || h.Max != 100 {
+		t.Errorf("histogram stats = count %d sum %d min %d max %d", h.Count, h.Sum, h.Min, h.Max)
+	}
+	if h.Mean != 26.5 {
+		t.Errorf("mean = %v, want 26.5", h.Mean)
+	}
+	// 1 → bucket <2, 2..3 → bucket <4, 100 → bucket <128.
+	want := map[string]uint64{"2": 1, "4": 2, "128": 1}
+	for _, b := range h.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket <%s = %d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		delete(want, b.Le)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race this is the registry's central
+// correctness test, and the totals check catches lost updates.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Inc("c", "shared")
+				r.Inc("c", string(rune('a'+w%4))) // contended series creation
+				r.Observe("h", "shared", uint64(i))
+				r.Set("g", "shared", int64(i))
+				_ = r.Counter("c", "shared")
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c", "shared"); got != workers*each {
+		t.Errorf("shared counter = %d, want %d (lost updates)", got, workers*each)
+	}
+	if got := r.Total("c"); got != 2*workers*each {
+		t.Errorf("Total(c) = %d, want %d", got, 2*workers*each)
+	}
+	snap := r.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Count != workers*each || h.Min != 0 || h.Max != each-1 {
+			t.Errorf("histogram after hammering: count %d min %d max %d", h.Count, h.Min, h.Max)
+		}
+	}
+}
+
+// TestDisabledPathAllocations is the acceptance bar for instrumenting hot
+// paths: with the tracer disabled, the full per-application observability
+// sequence (timed apply, two counter increments, one histogram observation,
+// the tracer guard) must not allocate once the series exist.
+func TestDisabledPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	var tr *Tracer
+	r.Inc("transform.applied", "fold.add") // warm the series
+	r.Observe("transform.apply.ns", "fold.add", 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := time.Now()
+		r.Inc("transform.applied", "fold.add")
+		r.ObserveSince("transform.apply.ns", "fold.add", start)
+		if tr.Enabled() {
+			t.Fatal("nil tracer is enabled")
+		}
+		sp := tr.StartSpan("x", nil)
+		sp.Event("y", nil)
+		sp.End(nil)
+		tr.Event("z", nil)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observability path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEnabledTracerAlsoDisabledWithoutSinks mirrors a NewTracer() with no
+// sinks: still a no-op.
+func TestTracerWithoutSinksDisabled(t *testing.T) {
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Error("sink-less tracer reports enabled")
+	}
+	tr.Event("x", map[string]any{"k": "v"}) // must not panic
+}
+
+func TestMemSinkSpans(t *testing.T) {
+	var sink MemSink
+	tr := NewTracer(&sink)
+	if !tr.Enabled() {
+		t.Fatal("tracer with a sink reports disabled")
+	}
+	sp := tr.StartSpan("analysis", map[string]any{"pair": "scasb/index"})
+	sp.Event("step", map[string]any{"n": 1})
+	tr.Event("point", nil)
+	sp.End(map[string]any{"outcome": "ok"})
+	evs := sink.Events()
+	if len(evs) != 4 || sink.Len() != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Phase != "begin" || evs[3].Phase != "end" {
+		t.Errorf("span phases = %q/%q, want begin/end", evs[0].Phase, evs[3].Phase)
+	}
+	if evs[0].Span == 0 || evs[0].Span != evs[1].Span || evs[0].Span != evs[3].Span {
+		t.Errorf("span ids do not line up: %d %d %d", evs[0].Span, evs[1].Span, evs[3].Span)
+	}
+	if evs[2].Span != 0 {
+		t.Errorf("point event outside the span carries span id %d", evs[2].Span)
+	}
+	if evs[3].DurNS < 0 {
+		t.Errorf("end event has negative duration %d", evs[3].DurNS)
+	}
+}
+
+// TestJSONLSinkRoundTrip writes spans and events through the JSONL sink and
+// parses every line back into an Event.
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLSink(&buf))
+	sp := tr.StartSpan("analysis", map[string]any{"machine": "Intel 8086"})
+	tr.Event("transform.apply", map[string]any{"xform": "fold.add", "outcome": "applied"})
+	sp.End(map[string]any{"outcome": "ok"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var evs []Event
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not a JSON event: %v\n%s", i+1, err, line)
+		}
+		evs = append(evs, e)
+	}
+	if evs[0].Name != "analysis" || evs[0].Phase != "begin" {
+		t.Errorf("first event = %+v, want analysis/begin", evs[0])
+	}
+	if evs[1].Attrs["xform"] != "fold.add" {
+		t.Errorf("attrs did not round-trip: %v", evs[1].Attrs)
+	}
+	if evs[2].Phase != "end" || evs[2].Span != evs[0].Span {
+		t.Errorf("end event = %+v, want end of span %d", evs[2], evs[0].Span)
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("event timestamp did not round-trip")
+	}
+}
+
+// TestConcurrentTracing checks sinks are driven safely from many
+// goroutines (run under -race).
+func TestConcurrentTracing(t *testing.T) {
+	var sink MemSink
+	tr := NewTracer(&sink)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartSpan("s", nil)
+				sp.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if sink.Len() != 8*200*2 {
+		t.Errorf("got %d events, want %d", sink.Len(), 8*200*2)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("b.metric", "z")
+	r.Inc("a.metric", "y")
+	r.Inc("a.metric", "x")
+	r.Set("gauge", "g", 3)
+	r.Observe("h", "l", 7)
+	var first, second bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("two WriteJSON calls over the same registry differ")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(first.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := []key{{"a.metric", "x"}, {"a.metric", "y"}, {"b.metric", "z"}}
+	for i, c := range snap.Counters {
+		if c.Metric != want[i].Metric || c.Label != want[i].Label {
+			t.Errorf("counter %d = %s/%s, want %s/%s", i, c.Metric, c.Label, want[i].Metric, want[i].Label)
+		}
+	}
+}
+
+func TestDefaultSwap(t *testing.T) {
+	fresh := NewRegistry()
+	prev := SetDefault(fresh)
+	defer SetDefault(prev)
+	if Default() != fresh {
+		t.Error("Default() did not return the swapped-in registry")
+	}
+	Default().Inc("m", "l")
+	if fresh.Counter("m", "l") != 1 {
+		t.Error("write through Default() missed the swapped-in registry")
+	}
+	prevTr := SetTrace(NewTracer(&MemSink{}))
+	defer SetTrace(prevTr)
+	if !Trace().Enabled() {
+		t.Error("Trace() did not return the swapped-in tracer")
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured trace record. Span-bearing events share the
+// span's id; End events carry the span's duration.
+type Event struct {
+	Time time.Time `json:"t"`
+	// Name is the event kind, e.g. "session.begin", "transform.apply",
+	// "equiv.match", "codegen.emit".
+	Name string `json:"name"`
+	// Phase is "begin"/"end" for span boundaries, "" for point events.
+	Phase string `json:"phase,omitempty"`
+	// Span is the enclosing or bounded span's id (0 = none).
+	Span int64 `json:"span,omitempty"`
+	// DurNS is the span duration on "end" events.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Attrs carries event-specific fields (transformation name, cursor
+	// path, outcome, precondition message, mapping size, ...).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink consumes emitted events. Sinks must tolerate concurrent Emit calls.
+type Sink interface {
+	Emit(e *Event)
+}
+
+// Tracer fans events out to its sinks. A nil *Tracer is a valid disabled
+// tracer: every method is a no-op and allocates nothing.
+type Tracer struct {
+	sinks    []Sink
+	nextSpan atomic.Int64
+}
+
+// NewTracer builds a tracer over the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// Enabled reports whether events will reach any sink. Hot paths should
+// guard attribute-map construction with it.
+func (t *Tracer) Enabled() bool {
+	return t != nil && len(t.sinks) > 0
+}
+
+func (t *Tracer) emit(e *Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Event emits a point event.
+func (t *Tracer) Event(name string, attrs map[string]any) {
+	if !t.Enabled() {
+		return
+	}
+	t.emit(&Event{Time: time.Now(), Name: name, Attrs: attrs})
+}
+
+// Span is an in-progress timed region. The zero Span (from a disabled
+// tracer) accepts End and Event calls and does nothing.
+type Span struct {
+	t     *Tracer
+	id    int64
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span and emits its "begin" event.
+func (t *Tracer) StartSpan(name string, attrs map[string]any) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	sp := Span{t: t, id: t.nextSpan.Add(1), name: name, start: time.Now()}
+	t.emit(&Event{Time: sp.start, Name: name, Phase: "begin", Span: sp.id, Attrs: attrs})
+	return sp
+}
+
+// Event emits a point event inside the span.
+func (s Span) Event(name string, attrs map[string]any) {
+	if !s.t.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Time: time.Now(), Name: name, Span: s.id, Attrs: attrs})
+}
+
+// End closes the span, emitting its "end" event with the duration.
+func (s Span) End(attrs map[string]any) {
+	if !s.t.Enabled() {
+		return
+	}
+	now := time.Now()
+	s.t.emit(&Event{Time: now, Name: s.name, Phase: "end", Span: s.id,
+		DurNS: now.Sub(s.start).Nanoseconds(), Attrs: attrs})
+}
+
+// JSONLSink writes one JSON object per line — the `--trace FILE` format.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes events to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line. Encoding errors are dropped:
+// tracing must never fail the traced computation.
+func (s *JSONLSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// MemSink retains events in memory for tests.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends a copy of the event.
+func (s *MemSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, *e)
+}
+
+// Events returns a copy of the retained events.
+func (s *MemSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len reports the number of retained events.
+func (s *MemSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

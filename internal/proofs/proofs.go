@@ -13,6 +13,7 @@ import (
 	"extra/internal/isps"
 	"extra/internal/langops"
 	"extra/internal/machines"
+	"extra/internal/obs"
 	"extra/internal/transform"
 )
 
@@ -38,6 +39,31 @@ type Analysis struct {
 // Run executes the analysis end to end and returns the finished session and
 // binding.
 func (a *Analysis) Run() (*core.Session, *core.Binding, error) {
+	return a.RunObserved(nil)
+}
+
+// RunObserved is Run with a tracer attached to the session: the analysis
+// becomes one span (attrs: machine, instruction, language, operation)
+// bounding per-step transform.apply events and the session.finish event.
+// Step counts land in the process metrics registry as analysis.steps /
+// analysis.elementary gauges either way — the paper's Table 2 columns.
+func (a *Analysis) RunObserved(tr *obs.Tracer) (_ *core.Session, _ *core.Binding, err error) {
+	label := a.Instruction + "/" + a.Operator
+	if tr.Enabled() {
+		sp := tr.StartSpan("analysis", map[string]any{
+			"machine": a.Machine, "instruction": a.Instruction,
+			"language": a.Language, "operation": a.Operation,
+			"paper_steps": a.PaperSteps, "extended": a.Extended,
+		})
+		defer func() {
+			attrs := map[string]any{"outcome": "ok"}
+			if err != nil {
+				attrs["outcome"] = "error"
+				attrs["detail"] = err.Error()
+			}
+			sp.End(attrs)
+		}()
+	}
 	op := langops.Get(a.Operator)
 	ins := machines.Get(a.Instruction)
 	if op == nil || ins == nil {
@@ -52,7 +78,8 @@ func (a *Analysis) Run() (*core.Session, *core.Binding, error) {
 	s.Language = a.Language
 	s.Operation = a.Operation
 	s.Extended = a.Extended
-	if err := a.Script(s); err != nil {
+	s.Tracer = tr
+	if err = a.Script(s); err != nil {
 		return s, nil, err
 	}
 	b, err := s.Finish()
@@ -60,6 +87,8 @@ func (a *Analysis) Run() (*core.Session, *core.Binding, error) {
 		return s, nil, fmt.Errorf("proofs: %s/%s does not reach common form: %v\noperator:\n%s\ninstruction:\n%s",
 			a.Instruction, a.Operator, err, isps.Format(s.Op), isps.Format(s.Ins))
 	}
+	obs.Default().Set("analysis.steps", label, int64(b.Steps))
+	obs.Default().Set("analysis.elementary", label, int64(b.Elementary))
 	return s, b, nil
 }
 

@@ -14,6 +14,7 @@
 package transform
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -219,9 +220,39 @@ func ByCategory(c Category) []*Transformation {
 // ---------------------------------------------------------------------------
 // Shared helpers.
 
+// PrecondError reports a failed transformation precondition — the paper's
+// "the system checks the preconditions and rejects the application" path,
+// as opposed to a malformed request (unknown name, bad path, missing
+// argument). The distinction feeds the observability layer: Barr-style
+// debugging of a stuck analysis starts from which precondition killed the
+// attempt.
+type PrecondError struct {
+	// Xform is the transformation whose precondition failed.
+	Xform string
+	// Msg is the formatted precondition message.
+	Msg string
+}
+
+func (e *PrecondError) Error() string {
+	return fmt.Sprintf("transform %s: %s", e.Xform, e.Msg)
+}
+
+// IsPrecond reports whether err is (or wraps) a precondition failure.
+func IsPrecond(err error) bool {
+	var pe *PrecondError
+	return errors.As(err, &pe)
+}
+
+// AsPrecond extracts the precondition failure from err, if any.
+func AsPrecond(err error) (*PrecondError, bool) {
+	var pe *PrecondError
+	ok := errors.As(err, &pe)
+	return pe, ok
+}
+
 // errPrecond formats a precondition failure.
 func errPrecond(name, format string, args ...any) error {
-	return fmt.Errorf("transform %s: %s", name, fmt.Sprintf(format, args...))
+	return &PrecondError{Xform: name, Msg: fmt.Sprintf(format, args...)}
 }
 
 // routineBody returns the path of the routine's body block and the block.
