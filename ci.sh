@@ -6,3 +6,14 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Chaos stage: the fault-injection suite drives every injectable fault
+# class through the real pipeline; it must degrade cleanly under -race.
+go test -race -run 'Chaos' ./internal/fault/inject
+
+# Fuzz smoke: a short budget per native fuzz target catches front-end and
+# loader panics before they land. One -fuzz target per invocation; -run
+# pins the seed-corpus execution to the same target.
+go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/isps
+go test -run '^FuzzParseStmt$' -fuzz '^FuzzParseStmt$' -fuzztime 10s ./internal/isps
+go test -run '^FuzzBindingJSON$' -fuzz '^FuzzBindingJSON$' -fuzztime 10s ./internal/core

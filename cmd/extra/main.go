@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"extra/internal/catalog"
 	"extra/internal/codegen"
@@ -56,6 +58,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	args, timeout, err := extractTimeout(args)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	if len(args) == 0 {
 		usage(os.Stderr)
 		return fmt.Errorf("no command given")
@@ -71,30 +83,32 @@ func run(args []string) error {
 	case "survey":
 		return survey()
 	case "table2":
-		return withTracer(traceFile, table2)
+		return withTracer(traceFile, func(tr *obs.Tracer) error {
+			return table2(ctx, tr)
+		})
 	case "fig":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra fig N (1-5)")
 		}
-		return figure(args[1])
+		return figure(ctx, args[1])
 	case "analyze", "trace":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra %s INSTRUCTION/OPERATOR (e.g. scasb/index)", args[0])
 		}
 		return withTracer(traceFile, func(tr *obs.Tracer) error {
-			return analyze(args[1], args[0] == "trace", tr)
+			return analyze(ctx, args[1], args[0] == "trace", tr)
 		})
 	case "stats":
-		return stats(args[1:])
+		return stats(ctx, args[1:])
 	case "binding":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
 		}
-		return bindingJSON(args[1])
+		return bindingJSON(ctx, args[1])
 	case "failures":
-		return failures()
+		return failures(ctx)
 	case "extensions":
-		return extensions()
+		return extensions(ctx)
 	case "xforms":
 		cat := ""
 		if len(args) > 1 {
@@ -131,7 +145,50 @@ func usage(w io.Writer) {
   extra stats               run the whole pipeline, print the metrics report
                             (-cpuprofile FILE, -memprofile FILE for pprof)
 
-analyze, trace and table2 accept --trace FILE to write a JSONL event trace.`)
+analyze, trace and table2 accept --trace FILE to write a JSONL event trace.
+Every command accepts --timeout DURATION (e.g. 30s, 2m): analyses, searches
+and interpreter runs are abandoned with a timeout error past the deadline.`)
+}
+
+// extractTimeout pulls a `--timeout DURATION` flag (also -timeout DURATION,
+// --timeout=DURATION) out of args, returning the remaining arguments and
+// the parsed duration (0 when the flag is absent).
+func extractTimeout(args []string) (rest []string, timeout time.Duration, err error) {
+	parse := func(s string) error {
+		d, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("bad --timeout value %q: %v", s, perr)
+		}
+		if d <= 0 {
+			return fmt.Errorf("--timeout must be positive, got %q", s)
+		}
+		timeout = d
+		return nil
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "--timeout" || a == "-timeout":
+			if i+1 >= len(args) {
+				return nil, 0, fmt.Errorf("%s needs a duration argument", a)
+			}
+			if err := parse(args[i+1]); err != nil {
+				return nil, 0, err
+			}
+			i++
+		case strings.HasPrefix(a, "--timeout="):
+			if err := parse(strings.TrimPrefix(a, "--timeout=")); err != nil {
+				return nil, 0, err
+			}
+		case strings.HasPrefix(a, "-timeout="):
+			if err := parse(strings.TrimPrefix(a, "-timeout=")); err != nil {
+				return nil, 0, err
+			}
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, timeout, nil
 }
 
 // extractTrace pulls a `--trace FILE` flag (also -trace FILE, --trace=FILE)
@@ -161,7 +218,8 @@ func extractTrace(args []string) (rest []string, file string, err error) {
 // withTracer runs fn with a JSONL tracer over file (nil tracer when file is
 // empty). The tracer is also installed as the process default for the
 // duration, so code-generator and selector events land in the same stream
-// as the session's.
+// as the session's. A sink that hit write errors surfaces them after fn:
+// the run's own result wins, but a lossy trace is reported, not swallowed.
 func withTracer(file string, fn func(tr *obs.Tracer) error) error {
 	if file == "" {
 		return fn(nil)
@@ -170,12 +228,16 @@ func withTracer(file string, fn func(tr *obs.Tracer) error) error {
 	if err != nil {
 		return err
 	}
-	tr := obs.NewTracer(obs.NewJSONLSink(f))
+	sink := obs.NewJSONLSink(f)
+	tr := obs.NewTracer(sink)
 	prev := obs.SetTrace(tr)
 	defer obs.SetTrace(prev)
 	err = fn(tr)
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	if serr := sink.Err(); serr != nil && err == nil {
+		err = fmt.Errorf("trace file %s is incomplete (%d events dropped): %v", file, sink.Dropped(), serr)
 	}
 	return err
 }
@@ -199,11 +261,11 @@ func survey() error {
 	return nil
 }
 
-func table2(tr *obs.Tracer) error {
+func table2(ctx context.Context, tr *obs.Tracer) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Machine\tInstruction\tLanguage\tOperation\tSteps\tElementary\tPaper")
 	for _, a := range proofs.Table2() {
-		_, b, err := a.RunObserved(tr)
+		_, b, err := a.RunCtx(ctx, tr)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %v", a.Instruction, a.Operator, err)
 		}
@@ -213,7 +275,7 @@ func table2(tr *obs.Tracer) error {
 	return w.Flush()
 }
 
-func figure(n string) error {
+func figure(ctx context.Context, n string) error {
 	switch n {
 	case "1":
 		fmt.Println("Figure 1: the reverse conditional transformation.")
@@ -254,7 +316,7 @@ end`)
 		fmt.Println(isps.Format(machines.Get("scasb")))
 		return nil
 	case "4", "5":
-		s, _, err := proofs.ScasbRigel().Run()
+		s, _, err := proofs.ScasbRigel().RunCtx(ctx, nil)
 		if err != nil {
 			return err
 		}
@@ -284,12 +346,12 @@ func findAnalysis(pair string) (*proofs.Analysis, error) {
 	return nil, fmt.Errorf("no analysis %s (try: extra table2)", pair)
 }
 
-func analyze(pair string, trace bool, tr *obs.Tracer) error {
+func analyze(ctx context.Context, pair string, trace bool, tr *obs.Tracer) error {
 	a, err := findAnalysis(pair)
 	if err != nil {
 		return err
 	}
-	s, b, err := a.RunObserved(tr)
+	s, b, err := a.RunCtx(ctx, tr)
 	if err != nil {
 		return err
 	}
@@ -304,7 +366,7 @@ func analyze(pair string, trace bool, tr *obs.Tracer) error {
 		fmt.Println()
 	}
 	fmt.Print(b.Describe())
-	n, err := core.ValidateBindingTraced(b, a.Gen, 300, 1, tr)
+	n, err := core.ValidateBindingCtx(ctx, b, a.Gen, 300, 1, tr)
 	if err != nil {
 		return fmt.Errorf("differential validation FAILED: %v", err)
 	}
@@ -313,12 +375,12 @@ func analyze(pair string, trace bool, tr *obs.Tracer) error {
 }
 
 // bindingJSON runs an analysis and emits the compiler-interface document.
-func bindingJSON(pair string) error {
+func bindingJSON(ctx context.Context, pair string) error {
 	a, err := findAnalysis(pair)
 	if err != nil {
 		return err
 	}
-	_, b, err := a.Run()
+	_, b, err := a.RunCtx(ctx, nil)
 	if err != nil {
 		return err
 	}
@@ -330,8 +392,11 @@ func bindingJSON(pair string) error {
 	return nil
 }
 
-func failures() error {
+func failures(ctx context.Context) error {
 	for _, f := range proofs.Failures() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("failures interrupted: %w", err)
+		}
 		fmt.Printf("== %s\n", f.Name)
 		fmt.Printf("paper's diagnosis: %s\n", f.Paper)
 		err := f.Attempt()
@@ -340,11 +405,11 @@ func failures() error {
 	return nil
 }
 
-func extensions() error {
+func extensions(ctx context.Context) error {
 	for _, a := range proofs.Extensions() {
 		fmt.Printf("== %s %s / %s %s (extended mode: %v)\n",
 			a.Machine, a.Instruction, a.Language, a.Operation, a.Extended)
-		_, b, err := a.Run()
+		_, b, err := a.RunCtx(ctx, nil)
 		if err != nil {
 			return err
 		}
@@ -397,7 +462,7 @@ print s
 // target, and a table-driven selection — against a fresh metrics registry
 // and prints the registry as deterministic JSON. -cpuprofile/-memprofile
 // write pprof profiles of the run.
-func stats(args []string) error {
+func stats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the run to `file`")
@@ -417,7 +482,7 @@ func stats(args []string) error {
 	}
 	prev := obs.SetDefault(obs.NewRegistry())
 	defer obs.SetDefault(prev)
-	if err := statsRun(); err != nil {
+	if err := statsRun(ctx); err != nil {
 		return err
 	}
 	if err := statsReport(os.Stdout); err != nil {
@@ -440,14 +505,16 @@ func stats(args []string) error {
 // statsRun exercises every instrumented layer: the analyses populate the
 // transform/session/equiv metrics, validation populates the interpreter and
 // constraint metrics, the sample compiles populate the per-target codegen
-// metrics, and the table-driven selection populates the rule-firing counts.
-func statsRun() error {
+// metrics, the table-driven selection populates the rule-firing counts, and
+// the fault drill populates the robustness counters (auto-search retries
+// and the code generator's corrupt-binding fallback).
+func statsRun(ctx context.Context) error {
 	for _, a := range proofs.Table2() {
-		_, b, err := a.Run()
+		_, b, err := a.RunCtx(ctx, nil)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %v", a.Instruction, a.Operator, err)
 		}
-		if _, err := core.ValidateBinding(b, a.Gen, 60, 1); err != nil {
+		if _, err := core.ValidateBindingCtx(ctx, b, a.Gen, 60, 1, nil); err != nil {
 			return fmt.Errorf("%s/%s validation: %v", a.Instruction, a.Operator, err)
 		}
 	}
@@ -465,9 +532,82 @@ func statsRun() error {
 		}
 	}
 	g := gg.NewGen(gg.Rules8086(), gg.Pool8086(), map[string]uint64{"r": 0xF000})
-	return g.GenStmt(gg.Assign("r", &gg.Tree{Op: "index", Kids: []*gg.Tree{
+	if err := g.GenStmt(gg.Assign("r", &gg.Tree{Op: "index", Kids: []*gg.Tree{
 		gg.Const(200), gg.Const(19), gg.Const('x'),
-	}}))
+	}})); err != nil {
+		return err
+	}
+	return faultDrill(ctx)
+}
+
+// drillOp / drillIns differ by surface rewrites only (a commuted comparison
+// and <= written for =), so a deliberately starved first auto-search rung
+// exhausts and the second rung completes — exercising the retry ladder.
+const drillOp = `cpy.operation := begin
+** S **
+  n: integer, a: integer, b: integer,
+  cpy.execute := begin
+    input (n, a, b);
+    repeat
+      exit_when (n <= 0);
+      Mb[b] <- Mb[a];
+      a <- a + 1;
+      b <- b + 1;
+      n <- n - 1;
+    end_repeat;
+  end
+end`
+
+const drillIns = `blt.instruction := begin
+** S **
+  cnt: integer, src: integer, dst: integer,
+  blt.execute := begin
+    input (cnt, src, dst);
+    repeat
+      exit_when (0 = cnt);
+      Mb[dst] <- Mb[src];
+      src <- src + 1;
+      dst <- dst + 1;
+      cnt <- cnt - 1;
+    end_repeat;
+  end
+end`
+
+// faultDrill deterministically exercises the robustness machinery so the
+// stats report always carries its counters: an auto-search retry ladder
+// whose first rung is too small (auto.retry.attempt / auto.retry.exhausted
+// / auto.retry.success), and a compile against an injected corrupt binding
+// that must degrade to the decomposition loop (codegen.fallback).
+func faultDrill(ctx context.Context) error {
+	s, err := core.NewSession(isps.MustParse(drillOp), isps.MustParse(drillIns))
+	if err != nil {
+		return err
+	}
+	ladder := []core.AutoRung{{MaxDepth: 1, Budget: 50}, {MaxDepth: 3, Budget: 50000}}
+	if _, err := s.AutoCompleteRetry(ctx, ladder); err != nil {
+		return fmt.Errorf("fault drill: retry ladder: %v", err)
+	}
+	if _, err := s.Finish(); err != nil {
+		return fmt.Errorf("fault drill: %v", err)
+	}
+	restore := codegen.InjectBindings(map[string]*core.Binding{
+		// Structurally corrupt: no descriptions at all. The generator must
+		// demote index to its decomposition loop, not abort.
+		"Intel 8086/scasb/index": {Instruction: "scasb", Operation: "index"},
+	})
+	defer restore()
+	prog, err := hll.Parse(statsSrc)
+	if err != nil {
+		return err
+	}
+	tg, err := codegen.For("i8086")
+	if err != nil {
+		return err
+	}
+	if _, err := tg.Compile(prog, codegen.AllOn()); err != nil {
+		return fmt.Errorf("fault drill: compile with corrupt binding: %v", err)
+	}
+	return nil
 }
 
 // statsReport writes the metrics report: the registry snapshot as indented

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -123,7 +124,7 @@ func TestTraceFlagWritesJSONL(t *testing.T) {
 func TestStatsReportShape(t *testing.T) {
 	prev := obs.SetDefault(obs.NewRegistry())
 	defer obs.SetDefault(prev)
-	if err := statsRun(); err != nil {
+	if err := statsRun(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -26,6 +26,7 @@ import (
 
 	"extra/internal/constraint"
 	"extra/internal/core"
+	"extra/internal/fault"
 	"extra/internal/ir"
 	"extra/internal/obs"
 	"extra/internal/proofs"
@@ -69,17 +70,30 @@ type Target interface {
 	ISA() *sim.ISA
 }
 
-// For returns the named target ("i8086", "vax", "ibm370").
+// For returns the named target ("i8086", "vax", "ibm370"). Every target is
+// wrapped in a recovery boundary: a panic out of instruction selection
+// surfaces as a typed *fault.PanicError instead of crashing the compiler.
 func For(name string) (Target, error) {
 	switch name {
 	case "i8086":
-		return target8086{}, nil
+		return guarded{target8086{}}, nil
 	case "vax":
-		return targetVAX{}, nil
+		return guarded{targetVAX{}}, nil
 	case "ibm370":
-		return target370{}, nil
+		return guarded{target370{}}, nil
 	}
 	return nil, fmt.Errorf("codegen: unknown target %q", name)
+}
+
+// guarded wraps a target's Compile in a panic-recovery boundary.
+type guarded struct{ t Target }
+
+func (g guarded) Name() string  { return g.t.Name() }
+func (g guarded) ISA() *sim.ISA { return g.t.ISA() }
+
+func (g guarded) Compile(p *ir.Prog, o Options) (_ *Program, err error) {
+	defer fault.RecoverInto(&err, "codegen."+g.t.Name())
+	return g.t.Compile(p, o)
 }
 
 // Targets lists the supported target names.
@@ -129,9 +143,50 @@ func Bindings() (map[string]*core.Binding, error) {
 	return bindMap, bindErr
 }
 
-// binding fetches one binding or fails loudly: a missing binding is a
-// programming error, not a runtime condition.
+// overrides, when non-nil, shadows the computed binding table; the
+// fault-injection harness uses it to present the generator with corrupt or
+// missing bindings without re-running the analyses.
+var (
+	overrideMu sync.RWMutex
+	overrides  map[string]*core.Binding
+)
+
+// InjectBindings installs an override binding table consulted before the
+// analysis results: a key present in m (even with a nil or corrupt value)
+// replaces the real binding. It returns a restore function that removes the
+// overrides. This is a test seam for the fault-injection harness.
+func InjectBindings(m map[string]*core.Binding) (restore func()) {
+	overrideMu.Lock()
+	prev := overrides
+	merged := map[string]*core.Binding{}
+	for k, v := range prev {
+		merged[k] = v
+	}
+	for k, v := range m {
+		merged[k] = v
+	}
+	overrides = merged
+	overrideMu.Unlock()
+	return func() {
+		overrideMu.Lock()
+		overrides = prev
+		overrideMu.Unlock()
+	}
+}
+
+// binding fetches one binding, consulting the override table first. A
+// missing binding is an error — whether the caller treats that as fatal or
+// degrades to decomposition is the emitter's choice (see usableBinding).
 func binding(key string) (*core.Binding, error) {
+	overrideMu.RLock()
+	if b, ok := overrides[key]; ok {
+		overrideMu.RUnlock()
+		if b == nil {
+			return nil, fmt.Errorf("codegen: no binding %q", key)
+		}
+		return b, nil
+	}
+	overrideMu.RUnlock()
 	bs, err := Bindings()
 	if err != nil {
 		return nil, err
@@ -141,6 +196,51 @@ func binding(key string) (*core.Binding, error) {
 		return nil, fmt.Errorf("codegen: no binding %q", key)
 	}
 	return b, nil
+}
+
+// validCache memoizes Binding.Validate per binding pointer, so the
+// structural check costs one map hit per compile after the first.
+var validCache sync.Map // *core.Binding -> error (nil for valid)
+
+func validatedBinding(key string) (*core.Binding, error) {
+	b, err := binding(key)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := validCache.Load(b); ok {
+		if v == nil {
+			return b, nil
+		}
+		return nil, v.(error)
+	}
+	err = b.Validate()
+	if err == nil {
+		validCache.Store(b, nil)
+		return b, nil
+	}
+	validCache.Store(b, err)
+	return nil, err
+}
+
+// usableBinding fetches and structurally validates a binding for op. On any
+// failure — missing binding, failed analysis, corrupt document — it degrades
+// gracefully: the failure is counted (codegen.fallback, labeled target/op),
+// traced, and nil is returned so the caller decomposes the operator into a
+// primitive loop instead of aborting the whole compilation. The emitted
+// program stays correct; only the exotic instruction is lost.
+func (e *emitter) usableBinding(key, op string) *core.Binding {
+	b, err := validatedBinding(key)
+	if err == nil {
+		return b
+	}
+	obs.Default().Inc("codegen.fallback", e.target+"/"+op)
+	if tr := obs.Trace(); tr.Enabled() {
+		tr.Event("codegen.fallback", map[string]any{
+			"target": e.target, "op": op, "binding": key,
+			"class": fault.Classify(err), "detail": err.Error(),
+		})
+	}
+	return nil
 }
 
 // rangeFor extracts the [min, max] range constraint for the named operand

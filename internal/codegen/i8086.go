@@ -130,11 +130,11 @@ func (e *emitter) ins8086(ins ir.Ins) error {
 // the rep prefix and cld realize the rf/df value constraints, and the
 // epilogue computes the 1-based index or zero.
 func (e *emitter) index8086(ins ir.Ins) error {
-	b, err := binding("Intel 8086/scasb/index")
-	if err != nil {
-		return err
+	if !e.opts.Exotic {
+		return e.indexLoop8086(ins)
 	}
-	ok := e.opts.Exotic &&
+	b := e.usableBinding("Intel 8086/scasb/index", "index")
+	ok := b != nil &&
 		constOK(b, "Src.Base", ins.Args[0], 0xffff) &&
 		constOK(b, "Src.Length", ins.Args[1], 0xffff) &&
 		constOK(b, "ch", ins.Args[2], 0xff)
@@ -197,12 +197,12 @@ func (e *emitter) indexLoop8086(ins ir.Ins) error {
 // move8086 emits rep movsb from the movsb/sassign binding, or the
 // decomposition loop.
 func (e *emitter) move8086(ins ir.Ins) error {
-	b, err := binding("Intel 8086/movsb/sassign")
-	if err != nil {
-		return err
-	}
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
-	ok := e.opts.Exotic &&
+	if !e.opts.Exotic {
+		return e.moveLoop8086(ins)
+	}
+	b := e.usableBinding("Intel 8086/movsb/sassign", "move")
+	ok := b != nil &&
 		constOK(b, "Src.Base", src, 0xffff) &&
 		constOK(b, "Dst.Base", dst, 0xffff) &&
 		constOK(b, "Len", n, 0xffff)
@@ -244,12 +244,12 @@ func (e *emitter) moveLoop8086(ins ir.Ins) error {
 // clear8086 emits rep stosb from the stosb/blkclr binding: the rf=1, df=0
 // and al=0 value constraints become the rep prefix, cld and `mov al, 0`.
 func (e *emitter) clear8086(ins ir.Ins) error {
-	b, err := binding("Intel 8086/stosb/blkclr")
-	if err != nil {
-		return err
-	}
 	dst, n := ins.Args[0], ins.Args[1]
-	ok := e.opts.Exotic &&
+	if !e.opts.Exotic {
+		return e.clearLoop8086(ins)
+	}
+	b := e.usableBinding("Intel 8086/stosb/blkclr", "clear")
+	ok := b != nil &&
 		constOK(b, "to", dst, 0xffff) &&
 		constOK(b, "count", n, 0xffff)
 	if !ok {
@@ -288,12 +288,12 @@ func (e *emitter) clearLoop8086(ins ir.Ins) error {
 // preloaded (the prologue augment) so empty strings compare equal, and the
 // epilogue maps zf to the operator's 1/0 result.
 func (e *emitter) compare8086(ins ir.Ins) error {
-	b, err := binding("Intel 8086/cmpsb/scompare")
-	if err != nil {
-		return err
-	}
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
-	ok := e.opts.Exotic &&
+	if !e.opts.Exotic {
+		return e.compareLoop8086(ins)
+	}
+	b := e.usableBinding("Intel 8086/cmpsb/scompare", "compare")
+	ok := b != nil &&
 		constOK(b, "A.Base", a, 0xffff) &&
 		constOK(b, "B.Base", bb, 0xffff) &&
 		constOK(b, "Len", n, 0xffff)

@@ -129,12 +129,12 @@ func (e *emitter) ins370(ins ir.Ins) error {
 // says the field holds Len-1, and its range constraint says 1 <= Len <=
 // 256: both are read off the binding and realized in the emitted code.
 func (e *emitter) move370(ins ir.Ins) error {
-	b, err := binding("IBM 370/mvc/sassign")
-	if err != nil {
-		return err
-	}
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	if !e.opts.Exotic {
+		return e.moveLoop370(ins)
+	}
+	b := e.usableBinding("IBM 370/mvc/sassign", "move")
+	if b == nil {
 		return e.moveLoop370(ins)
 	}
 	delta := offsetFor(b, "Len2")
@@ -299,11 +299,14 @@ func (e *emitter) clearLoop370(ins ir.Ins) error {
 // (field holds Len-1) and the 1..256 range come off the binding, and the
 // condition code maps to the operator's 1/0 result via the epilogue.
 func (e *emitter) compare370(ins ir.Ins) error {
-	b, err := binding("IBM 370/clc/scompare")
-	if err != nil {
-		return err
-	}
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
+	if !e.opts.Exotic {
+		return e.compareLoop370(ins)
+	}
+	b := e.usableBinding("IBM 370/clc/scompare", "compare")
+	if b == nil {
+		return e.compareLoop370(ins)
+	}
 	delta := offsetFor(b, "LenC")
 	min, max, _ := rangeFor(b, "LenC")
 	if e.opts.Exotic && n.IsConst && n.Const >= min && n.Const <= max {
@@ -399,12 +402,12 @@ func (e *emitter) indexLoop370(ins ir.Ins) error {
 // 256-byte field emit one tr with the coding constraint applied; longer or
 // variable lengths chunk under the rewriting rule; otherwise a byte loop.
 func (e *emitter) translate370(ins ir.Ins) error {
-	b, err := binding("IBM 370/tr/xlate")
-	if err != nil {
-		return err
-	}
 	base, table, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	if !e.opts.Exotic {
+		return e.translateLoop370(ins)
+	}
+	b := e.usableBinding("IBM 370/tr/xlate", "translate")
+	if b == nil {
 		return e.translateLoop370(ins)
 	}
 	delta := offsetFor(b, "LenT")

@@ -128,14 +128,14 @@ func (e *emitter) insVAX(ins ir.Ins) error {
 // augment), locc, then compute the 1-based index from the located address
 // or return zero (epilogue augment).
 func (e *emitter) indexVAX(ins ir.Ins) error {
-	b, err := binding("VAX-11/locc/index")
-	if err != nil {
-		return err
-	}
 	base, n, ch := ins.Args[0], ins.Args[1], ins.Args[2]
+	if !e.opts.Exotic {
+		return e.indexLoopVAX(ins)
+	}
+	b := e.usableBinding("VAX-11/locc/index", "index")
 	// VAX variables are 32 bits, so a variable length cannot be verified
 	// against locc's 16-bit field; only constants qualify.
-	ok := e.opts.Exotic &&
+	ok := b != nil &&
 		constOK(b, "ch", ch, 0xff) &&
 		constOK(b, "Src.Length", n, 0xffffffff) &&
 		constOK(b, "Src.Base", base, 0xffffffff)
@@ -199,12 +199,12 @@ func (e *emitter) indexLoopVAX(ins ir.Ins) error {
 // rewriting is enabled (the paper's constraint-satisfaction rewriting
 // rule), and decomposes otherwise.
 func (e *emitter) moveVAX(ins ir.Ins) error {
-	b, err := binding("VAX-11/movc3/sassign")
-	if err != nil {
-		return err
-	}
 	dst, src, n := ins.Args[0], ins.Args[1], ins.Args[2]
 	if !e.opts.Exotic {
+		return e.moveLoopVAX(ins)
+	}
+	b := e.usableBinding("VAX-11/movc3/sassign", "move")
+	if b == nil {
 		return e.moveLoopVAX(ins)
 	}
 	if constOK(b, "Len", n, 0xffffffff) && n.IsConst {
@@ -265,13 +265,16 @@ func (e *emitter) moveLoopVAX(ins ir.Ins) error {
 
 // clearVAX emits the movc5/blkclr binding: srclen and fill fixed at zero.
 func (e *emitter) clearVAX(ins ir.Ins) error {
-	b, err := binding("VAX-11/movc5/blkclr")
-	if err != nil {
-		return err
-	}
 	dst, n := ins.Args[0], ins.Args[1]
-	ok := e.opts.Exotic && constOK(b, "count", n, 0xffffffff)
-	if !ok && e.opts.Exotic && e.opts.Rewriting {
+	if !e.opts.Exotic {
+		return e.clearLoopVAX(ins)
+	}
+	b := e.usableBinding("VAX-11/movc5/blkclr", "clear")
+	if b == nil {
+		return e.clearLoopVAX(ins)
+	}
+	ok := constOK(b, "count", n, 0xffffffff)
+	if !ok && e.opts.Rewriting {
 		e.noteEmit("clear", true)
 		// Chunk the fill like the move.
 		e.loadVAX("r6", n)
@@ -325,12 +328,12 @@ func (e *emitter) clearLoopVAX(ins ir.Ins) error {
 
 // compareVAX emits the cmpc3/scompare binding: r0 = 0 on exit means equal.
 func (e *emitter) compareVAX(ins ir.Ins) error {
-	b, err := binding("VAX-11/cmpc3/scompare")
-	if err != nil {
-		return err
-	}
 	a, bb, n := ins.Args[0], ins.Args[1], ins.Args[2]
-	ok := e.opts.Exotic && constOK(b, "Len", n, 0xffffffff)
+	if !e.opts.Exotic {
+		return e.compareLoopVAX(ins)
+	}
+	b := e.usableBinding("VAX-11/cmpc3/scompare", "compare")
+	ok := b != nil && constOK(b, "Len", n, 0xffffffff)
 	if !ok {
 		return e.compareLoopVAX(ins)
 	}

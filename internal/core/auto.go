@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"extra/internal/equiv"
+	"extra/internal/fault"
 	"extra/internal/isps"
 	"extra/internal/transform"
 )
@@ -51,9 +54,90 @@ type autoStep struct {
 // transformations that brings the session's two descriptions into common
 // form, applying it to the session (each found step is recorded like a
 // scripted one). maxDepth bounds the sequence length and budget the number
-// of candidate states explored. It returns the number of steps found, or an
-// error when no completion exists within the bounds.
+// of candidate states explored. It returns the number of steps found; when
+// no completion exists within the bounds the error is a *fault.BudgetError
+// (errors.As-able), so callers can distinguish "search too small" from a
+// broken session and escalate — see AutoCompleteRetry.
 func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
+	return s.autoComplete(s.Context(), maxDepth, budget, 0, 1)
+}
+
+// AutoCompleteCtx is AutoComplete bounded by ctx: the search aborts with
+// ctx.Err (wrapped) once the context is cancelled or past its deadline.
+func (s *Session) AutoCompleteCtx(ctx context.Context, maxDepth, budget int) (int, error) {
+	return s.autoComplete(ctx, maxDepth, budget, 0, 1)
+}
+
+// AutoRung is one rung of an auto-search retry ladder: the bounds one
+// attempt runs under.
+type AutoRung struct {
+	MaxDepth, Budget int
+}
+
+// AutoLadder builds a rungs-long retry ladder starting at (depth, budget):
+// each rung doubles the depth and quadruples the budget, matching the
+// branching growth of the search space — the bounded-search-with-growing-
+// budget pattern of exhaustive state-space search.
+func AutoLadder(depth, budget, rungs int) []AutoRung {
+	if rungs < 1 {
+		rungs = 1
+	}
+	out := make([]AutoRung, rungs)
+	for i := range out {
+		out[i] = AutoRung{MaxDepth: depth, Budget: budget}
+		depth *= 2
+		budget *= 4
+	}
+	return out
+}
+
+// AutoCompleteRetry climbs a retry ladder instead of failing on the first
+// budget exhaustion: each rung runs AutoComplete under its bounds, and a
+// *fault.BudgetError escalates to the next rung while any other failure
+// (a broken session, cancellation) aborts immediately. Per-rung attempts,
+// exhaustions and the succeeding rung are counted in the metrics registry
+// (auto.retry.attempt / auto.retry.exhausted / auto.retry.success, labeled
+// rung<i>). A nil ctx uses the session's context. When every rung
+// exhausts, the last rung's BudgetError is returned.
+func (s *Session) AutoCompleteRetry(ctx context.Context, ladder []AutoRung) (int, error) {
+	if len(ladder) == 0 {
+		return 0, fmt.Errorf("core: empty auto-search retry ladder")
+	}
+	if ctx == nil {
+		ctx = s.Context()
+	}
+	var last error
+	for i, rung := range ladder {
+		label := fmt.Sprintf("rung%d", i)
+		s.Metrics.Inc("auto.retry.attempt", label)
+		n, err := s.autoComplete(ctx, rung.MaxDepth, rung.Budget, i, len(ladder))
+		if err == nil {
+			s.Metrics.Inc("auto.retry.success", label)
+			if s.Tracer.Enabled() {
+				s.Tracer.Event("auto.retry", map[string]any{
+					"outcome": "ok", "rung": i, "rungs": len(ladder),
+					"depth": rung.MaxDepth, "budget": rung.Budget, "steps": n,
+				})
+			}
+			return n, nil
+		}
+		var be *fault.BudgetError
+		if !errors.As(err, &be) {
+			return 0, err // escalation cannot fix a non-budget failure
+		}
+		last = err
+		s.Metrics.Inc("auto.retry.exhausted", label)
+		if s.Tracer.Enabled() {
+			s.Tracer.Event("auto.retry", map[string]any{
+				"outcome": "exhausted", "rung": i, "rungs": len(ladder),
+				"depth": rung.MaxDepth, "budget": rung.Budget, "explored": be.Explored,
+			})
+		}
+	}
+	return 0, last
+}
+
+func (s *Session) autoComplete(ctx context.Context, maxDepth, budget, rung, rungs int) (int, error) {
 	if _, err := equiv.CommonForm(s.Op, s.Ins); err == nil {
 		return 0, nil
 	}
@@ -68,9 +152,18 @@ func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
 	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
 		var next []state
 		for _, st := range frontier {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return 0, fmt.Errorf("core: auto search after %d states: %w", explored, err)
+				}
+			}
 			for _, cand := range autoCandidates(st.op, st.ins) {
 				if explored++; explored > budget {
-					return 0, fmt.Errorf("core: auto search exhausted its budget of %d states", budget)
+					return 0, &fault.BudgetError{
+						Op: "auto-search", Depth: maxDepth, Budget: budget,
+						Explored: explored - 1, Rung: rung, Rungs: rungs,
+						Reason: "state budget spent before a completion was found",
+					}
 				}
 				newOp, newIns := st.op, st.ins
 				tr, err := transform.Get(cand.xform)
@@ -82,7 +175,7 @@ func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
 					d = st.op
 				}
 				s.Metrics.Inc("auto.explored", cand.xform)
-				out, err := tr.Apply(d, cand.at, transform.Args{"dir": "down"})
+				out, err := safeTransformApply(tr, d, cand.at, transform.Args{"dir": "down"})
 				if err != nil {
 					s.noteProbe(cand.xform, err)
 					continue
@@ -116,7 +209,11 @@ func (s *Session) AutoComplete(maxDepth, budget int) (int, error) {
 		}
 		frontier = next
 	}
-	return 0, fmt.Errorf("core: no completion found within depth %d (%d states explored)", maxDepth, explored)
+	return 0, &fault.BudgetError{
+		Op: "auto-search", Depth: maxDepth, Budget: budget, Explored: explored,
+		Rung: rung, Rungs: rungs,
+		Reason: "no completion found within the depth bound",
+	}
 }
 
 func key(op, ins *isps.Description) string {
@@ -162,7 +259,9 @@ func moveKinds(name string) map[string]bool {
 
 // autoCandidates enumerates the applicable moves of a state: it probes each
 // transformation at each node of the matching kind and keeps the applicable
-// ones in a deterministic order.
+// ones in a deterministic order. Probes run inside the same recovery
+// boundary as real applications, so a panic-prone candidate is skipped, not
+// fatal.
 func autoCandidates(op, ins *isps.Description) []autoStep {
 	var out []autoStep
 	for _, side := range []Side{OpSide, InsSide} {
@@ -184,7 +283,7 @@ func autoCandidates(op, ins *isps.Description) []autoStep {
 			}
 			for kind := range moveKinds(name) {
 				for _, p := range byKind[kind] {
-					if _, err := tr.Apply(d, p, transform.Args{"dir": "down"}); err == nil {
+					if _, err := safeTransformApply(tr, d, p, transform.Args{"dir": "down"}); err == nil {
 						out = append(out, autoStep{side: side, xform: name, at: p})
 					}
 				}

@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"extra/internal/constraint"
+	"extra/internal/fault"
 	"extra/internal/isps"
 )
 
@@ -76,7 +78,12 @@ func (b *Binding) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON loads a binding back from the compiler-interface document.
 // The augment statements and descriptions are reparsed, so a loaded binding
 // supports the same validation and code-generation paths as a fresh one.
-func (b *Binding) UnmarshalJSON(data []byte) error {
+// The document is validated structurally (Validate) before it is accepted:
+// a truncated or hand-corrupted file yields a typed error here instead of
+// flowing into the code generator. The whole load runs inside a recovery
+// boundary.
+func (b *Binding) UnmarshalJSON(data []byte) (err error) {
+	defer fault.RecoverInto(&err, "binding.load")
 	var doc bindingDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return err
@@ -120,14 +127,109 @@ func (b *Binding) UnmarshalJSON(data []byte) error {
 		}
 		b.Epilogue = append(b.Epilogue, s)
 	}
-	var err error
 	b.Variant, err = isps.Parse(doc.Variant)
 	if err != nil {
-		return fmt.Errorf("core: bad variant description: %v", err)
+		return b.corrupt("variant_description", "unparseable: %v", err)
 	}
 	b.Operator, err = isps.Parse(doc.Operator)
 	if err != nil {
-		return fmt.Errorf("core: bad operator description: %v", err)
+		return b.corrupt("operator_description", "unparseable: %v", err)
+	}
+	return b.Validate()
+}
+
+// corrupt builds the binding's typed load/validation error.
+func (b *Binding) corrupt(field, format string, args ...any) error {
+	return &fault.CorruptBindingError{
+		Binding: b.Instruction + "/" + b.Operation,
+		Field:   field,
+		Err:     fmt.Errorf(format, args...),
+	}
+}
+
+// Validate checks the binding's structural integrity — the checks a code
+// generator needs before trusting a document it did not produce itself.
+// Violations return a typed *fault.CorruptBindingError naming the field:
+// missing or invalid descriptions, mismatched or duplicated operand lists,
+// dangling or non-injective var_map entries, and malformed constraints.
+func (b *Binding) Validate() error {
+	if b.Variant == nil {
+		return b.corrupt("variant_description", "missing")
+	}
+	if b.Operator == nil {
+		return b.corrupt("operator_description", "missing")
+	}
+	if err := isps.Validate(b.Variant); err != nil {
+		return b.corrupt("variant_description", "invalid: %v", err)
+	}
+	if err := isps.Validate(b.Operator); err != nil {
+		return b.corrupt("operator_description", "invalid: %v", err)
+	}
+	if len(b.OpInputs) != len(b.InsInputs) {
+		return b.corrupt("operands", "operator has %d operands, instruction has %d",
+			len(b.OpInputs), len(b.InsInputs))
+	}
+	for _, list := range [][]string{b.OpInputs, b.InsInputs} {
+		seen := map[string]bool{}
+		for _, name := range list {
+			if name == "" {
+				return b.corrupt("operands", "empty operand name")
+			}
+			if seen[name] {
+				return b.corrupt("operands", "duplicate operand %q", name)
+			}
+			seen[name] = true
+		}
+	}
+	vars := make([]string, 0, len(b.VarMap))
+	for v := range b.VarMap {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic first-error reporting
+	usedRegs := map[string]string{}
+	for _, v := range vars {
+		reg := b.VarMap[v]
+		if v == "" || reg == "" {
+			return b.corrupt("var_map", "empty entry %q -> %q", v, reg)
+		}
+		// Names are not checked against the stored descriptions'
+		// declarations: Variant and Operator are snapshots taken at the
+		// last non-preserving step, and later preserving transformations
+		// legitimately introduce registers (induction indices, hoist
+		// temporaries, loop-exit witnesses) that appear only in the final
+		// common form the map was read off. Injectivity still must hold.
+		if prev, dup := usedRegs[reg]; dup {
+			return b.corrupt("var_map", "duplicate target: variables %q and %q both map to register %q", prev, v, reg)
+		}
+		usedRegs[reg] = v
+	}
+	// The operand correspondence must agree with the variable map: a code
+	// generator materializes OpInputs[i] in InsInputs[i], so a var_map entry
+	// that sends an operator operand anywhere else (or a missing entry for a
+	// mapped operand) is a dangling correspondence.
+	for i, op := range b.OpInputs {
+		reg, mapped := b.VarMap[op]
+		if !mapped {
+			return b.corrupt("var_map", "dangling operand: operator operand %q has no var_map entry", op)
+		}
+		if reg != b.InsInputs[i] {
+			return b.corrupt("var_map", "inconsistent operand binding: %q maps to %q but is positionally bound to %q",
+				op, reg, b.InsInputs[i])
+		}
+	}
+	for _, c := range b.Constraints {
+		switch c.Kind {
+		case constraint.Value, constraint.Range, constraint.Offset:
+			if c.Operand == "" {
+				return b.corrupt("constraints", "%s constraint without an operand", c.Kind)
+			}
+		case constraint.Predicate:
+			if c.Pred == "" {
+				return b.corrupt("constraints", "predicate constraint without a predicate")
+			}
+		default:
+			return b.corrupt("constraints", "unknown constraint kind %d", int(c.Kind))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"extra/internal/constraint"
+	"extra/internal/isps"
+)
+
+// fuzzSeedBinding builds a small well-formed binding document for the fuzz
+// corpus, so mutations start from realistic structure.
+func fuzzSeedBinding() []byte {
+	b := &Binding{
+		Machine:     "Intel 8086",
+		Instruction: "blt",
+		Language:    "PC2",
+		Operation:   "block copy",
+		VarMap:      map[string]string{"n": "cnt", "a": "src", "b": "dst"},
+		OpInputs:    []string{"n", "a", "b"},
+		InsInputs:   []string{"cnt", "src", "dst"},
+		Constraints: []constraint.Constraint{
+			{Kind: constraint.Range, Operand: "cnt", Min: 0, Max: 0xffff},
+		},
+		Variant: isps.MustParse(`blt.instruction := begin
+** S **
+  cnt: integer, src: integer, dst: integer,
+  blt.execute := begin
+    input (cnt, src, dst);
+  end
+end`),
+		Operator: isps.MustParse(`cpy.operation := begin
+** S **
+  n: integer, a: integer, b: integer,
+  cpy.execute := begin
+    input (n, a, b);
+  end
+end`),
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// FuzzBindingJSON feeds arbitrary bytes to the binding loader. The loader
+// must never panic — the recovery boundary and the structural validation
+// turn any malformed document into an error — and any document it accepts
+// must satisfy Validate (the loader's postcondition).
+func FuzzBindingJSON(f *testing.F) {
+	f.Add(fuzzSeedBinding())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"var_map":{"x":"y"},"operator_operands":["x"],"instruction_operands":["y"]}`))
+	f.Add([]byte(`{"constraints":[{"kind":"banana"}]}`))
+	f.Add([]byte(`{"prologue":["x <- "]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Binding
+		if err := json.Unmarshal(data, &b); err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("loader accepted a document that fails Validate: %v\ninput: %s", err, data)
+		}
+	})
+}

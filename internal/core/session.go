@@ -9,12 +9,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"extra/internal/constraint"
 	"extra/internal/equiv"
+	"extra/internal/fault"
 	"extra/internal/isps"
 	"extra/internal/obs"
 	"extra/internal/transform"
@@ -99,6 +102,35 @@ type Session struct {
 	RemovedOutputs []isps.Expr
 
 	snapshots map[string]*isps.Description
+
+	// ctx carries the session's cancellation signal; nil means no bound.
+	// Apply, AutoComplete, and Finish observe it.
+	ctx context.Context
+}
+
+// SetContext bounds the session by ctx: subsequent Apply, AutoComplete and
+// Finish calls fail fast (with ctx.Err wrapped) once ctx is cancelled or
+// past its deadline.
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Context returns the session's context (context.Background when unset).
+func (s *Session) Context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// ctxErr reports the session's cancellation state, wrapped with the
+// interrupted operation's name.
+func (s *Session) ctxErr(op string) error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: %w", op, err)
+	}
+	return nil
 }
 
 // NewSession starts an analysis of instruction ins against operator op.
@@ -184,11 +216,49 @@ func (s *Session) Desc(side Side) *isps.Description {
 	return s.Ins
 }
 
+// safeTransformApply applies tr inside a recovery boundary: a panic out of
+// AST navigation (an out-of-range Node.Child, a misplaced SetChild deep in
+// a rewrite) surfaces as a *fault.PanicError instead of crashing the
+// process. The input description is discarded on failure, so a partial
+// mutation of the transformation's working copy cannot leak.
+func safeTransformApply(tr *transform.Transformation, d *isps.Description, at isps.Path, args transform.Args) (out *transform.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &fault.PanicError{Op: "transform." + tr.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return tr.Apply(d, at, args)
+}
+
+// guardApply is the session's fault boundary around one application: the
+// cursor path is resolved up front (a malformed path yields a typed
+// *fault.PathError, errors.As-able, carrying side, transformation and
+// path) and any panic out of the application is converted likewise. The
+// session state is untouched on failure because Apply commits only after a
+// successful return.
+func guardApply(tr *transform.Transformation, d *isps.Description, side Side, name string, at isps.Path, args transform.Args) (*transform.Outcome, error) {
+	if _, rerr := isps.Resolve(d, at); rerr != nil {
+		return nil, &fault.PathError{Side: side.String(), Xform: name, Path: at.String(), Err: rerr}
+	}
+	out, err := safeTransformApply(tr, d, at, args)
+	if err != nil && fault.IsPanic(err) {
+		return nil, &fault.PathError{Side: side.String(), Xform: name, Path: at.String(), Err: err}
+	}
+	return out, err
+}
+
 // Apply performs one transformation step. The transformation's
 // preconditions are checked by the library; the session additionally
 // enforces the constraint policy (classic vs extended) and that augments
-// only ever apply to the instruction.
+// only ever apply to the instruction. Failures of any class — a malformed
+// cursor path, a panic recovered from the rewrite, a failed precondition —
+// leave the session state exactly as it was.
 func (s *Session) Apply(side Side, name string, at isps.Path, args transform.Args) error {
+	if err := s.ctxErr("apply " + name); err != nil {
+		s.noteApply(side, name, at, 0, outcomeError, err.Error())
+		return err
+	}
 	tr, err := transform.Get(name)
 	if err != nil {
 		s.noteApply(side, name, at, 0, outcomeError, err.Error())
@@ -200,12 +270,15 @@ func (s *Session) Apply(side Side, name string, at isps.Path, args transform.Arg
 		return err
 	}
 	start := time.Now()
-	out, err := tr.Apply(s.Desc(side), at, args)
+	out, err := guardApply(tr, s.Desc(side), side, name, at, args)
 	dur := time.Since(start)
 	if err != nil {
 		if pe, ok := transform.AsPrecond(err); ok {
 			s.noteApply(side, name, at, dur, outcomePrecond, pe.Msg)
 		} else {
+			if cls := fault.Classify(err); cls != "other" {
+				s.Metrics.Inc("fault.recovered", cls)
+			}
 			s.noteApply(side, name, at, dur, outcomeError, err.Error())
 		}
 		return err
@@ -325,8 +398,13 @@ type Binding struct {
 
 // Finish verifies the two descriptions are in common form and assembles the
 // binding. The width-induced range constraints from the match are added to
-// the constraints accumulated by the steps.
-func (s *Session) Finish() (*Binding, error) {
+// the constraints accumulated by the steps. Finish runs inside a recovery
+// boundary: a panic out of the matcher degrades to a typed error.
+func (s *Session) Finish() (_ *Binding, err error) {
+	defer fault.RecoverInto(&err, "session.finish")
+	if cerr := s.ctxErr("finish"); cerr != nil {
+		return nil, cerr
+	}
 	start := time.Now()
 	m, err := equiv.CommonForm(s.Op, s.Ins)
 	s.Metrics.ObserveSince("session.finish.ns", s.Instruction+"/"+s.Operation, start)

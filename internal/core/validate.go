@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -34,7 +35,14 @@ func ValidateBinding(b *Binding, gen InputGen, rounds int, seed int64) (int, err
 // bounding the differential run (attrs: binding, rounds requested, inputs
 // actually checked, outcome). Constraint evaluations and interpreter runs
 // are counted in the process metrics registry either way.
-func ValidateBindingTraced(b *Binding, gen InputGen, rounds int, seed int64, tr *obs.Tracer) (n int, err error) {
+func ValidateBindingTraced(b *Binding, gen InputGen, rounds int, seed int64, tr *obs.Tracer) (int, error) {
+	return ValidateBindingCtx(context.Background(), b, gen, rounds, seed, tr)
+}
+
+// ValidateBindingCtx is ValidateBindingTraced bounded by ctx: the
+// differential run is checked between rounds and inside each interpreter
+// execution, so a deadline interrupts even a single runaway description.
+func ValidateBindingCtx(ctx context.Context, b *Binding, gen InputGen, rounds int, seed int64, tr *obs.Tracer) (n int, err error) {
 	reg := obs.Default()
 	label := b.Instruction + "/" + b.Operation
 	reg.Inc("validate.runs", label)
@@ -52,6 +60,9 @@ func ValidateBindingTraced(b *Binding, gen InputGen, rounds int, seed int64, tr 
 	rng := rand.New(rand.NewSource(seed))
 	checked := 0
 	for r := 0; r < rounds; r++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return checked, fmt.Errorf("core: validation interrupted after %d rounds: %w", r, cerr)
+		}
 		opIn, mem := gen(rng)
 		if len(opIn) != len(b.OpInputs) {
 			return checked, fmt.Errorf("core: generator produced %d operands, binding has %d", len(opIn), len(b.OpInputs))
@@ -92,10 +103,16 @@ func ValidateBindingTraced(b *Binding, gen InputGen, rounds int, seed int64, tr 
 			st1.Mem[k] = v
 		}
 		st2 := st1.Clone()
-		r1, err1 := interp.Run(b.Operator, opIn, st1, 0)
-		r2, err2 := interp.Run(b.Variant, opIn, st2, 0)
+		r1, err1 := interp.RunCtx(ctx, b.Operator, opIn, st1, 0)
+		r2, err2 := interp.RunCtx(ctx, b.Variant, opIn, st2, 0)
 		if err1 != nil || err2 != nil {
-			return checked, fmt.Errorf("core: execution failed (operator: %v, variant: %v)", err1, err2)
+			// Wrap the first failure so typed sentinels (ErrStepLimit,
+			// ErrCallDepth, context errors) survive this layer.
+			cause := err1
+			if cause == nil {
+				cause = err2
+			}
+			return checked, fmt.Errorf("core: execution failed (operator: %v, variant: %v): %w", err1, err2, cause)
 		}
 		if !reflect.DeepEqual(r1.Outputs, r2.Outputs) {
 			return checked, fmt.Errorf("core: binding refuted on inputs %v: operator outputs %v, variant outputs %v",

@@ -1,0 +1,269 @@
+// Package inject_test holds the chaos suite: every fault class the
+// injection harness can produce is driven through the real pipeline, and
+// each one must degrade cleanly — a typed error or a recorded fallback,
+// never a panic and never a leaked goroutine.
+package inject_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"extra/internal/codegen"
+	"extra/internal/core"
+	"extra/internal/fault"
+	"extra/internal/fault/inject"
+	"extra/internal/hll"
+	"extra/internal/interp"
+	"extra/internal/isps"
+	"extra/internal/langops"
+	"extra/internal/machines"
+	"extra/internal/obs"
+	"extra/internal/proofs"
+	"extra/internal/transform"
+)
+
+// checkGoroutines fails the test if the goroutine count has not settled
+// back to (at most) the baseline within a grace period — the no-leak
+// invariant for every chaos scenario.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutine leak: %d running, baseline %d", n, baseline)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func chaosSession(t *testing.T) *core.Session {
+	t.Helper()
+	a := proofs.ScasbRigel()
+	op, ins := langops.Get(a.Operator), machines.Get(a.Instruction)
+	if op == nil || ins == nil {
+		t.Fatalf("corpus pair %s/%s missing", a.Instruction, a.Operator)
+	}
+	s, err := core.NewSession(op, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestChaosBadCursorPath: a garbage cursor path on a real analysis pair
+// yields a typed PathError; the session survives and still completes.
+func TestChaosBadCursorPath(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := chaosSession(t)
+	before := isps.Format(s.Ins)
+	err := s.Apply(core.InsSide, "if.reverse", isps.Path{42, 42, 42}, transform.Args{})
+	var pe *fault.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *fault.PathError", err, err)
+	}
+	if isps.Format(s.Ins) != before {
+		t.Error("failed step mutated the instruction description")
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosStepLimitInjection: an injected starvation budget makes
+// differential validation fail with the interpreter's typed sentinel — the
+// error must carry ErrStepLimit through the validation layer, not panic.
+func TestChaosStepLimitInjection(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := proofs.ScasbRigel()
+	_, b, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inject.New(99)
+	in.Arm(inject.Fault{Point: "interp.steplimit", Every: 1, Val: 1})
+	restore := inject.Activate(in)
+	defer restore()
+	_, verr := core.ValidateBindingCtx(context.Background(), b, a.Gen, 5, 1, nil)
+	if verr == nil {
+		t.Fatal("validation succeeded under a one-statement step budget")
+	}
+	if !errors.Is(verr, interp.ErrStepLimit) {
+		t.Errorf("err = %v, want wrapped interp.ErrStepLimit", verr)
+	}
+	if in.Fired("interp.steplimit") == 0 {
+		t.Error("injector never fired")
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosSinkWriteFailure: concurrent tracing into a sink whose writer
+// fails on a schedule. The sink must report the failure (Err, Dropped),
+// must not panic, and every line that did reach the buffer must be intact
+// JSON — no interleaving corruption.
+func TestChaosSinkWriteFailure(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(inject.NewFlakyWriter(&buf, 5, 3))
+	tr := obs.NewTracer(sink)
+
+	const workers, events = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tr.Event("chaos.write", map[string]any{"worker": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if sink.Err() == nil {
+		t.Fatal("sink swallowed the injected write failures")
+	}
+	if sink.Dropped() == 0 {
+		t.Error("Dropped() = 0 despite failing writes")
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d of the surviving trace is not valid JSON: %q", i, line)
+		}
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosCorruptBindingJSON: deterministic corruptions of a real binding
+// document. The loader must reject or repair-and-validate every mutant —
+// acceptance implies Validate passes — and never panic.
+func TestChaosCorruptBindingJSON(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, b, err := proofs.ScasbRigel().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for seed := int64(0); seed <= 50; seed++ {
+		mutant := inject.CorruptJSON(seed, doc)
+		var got core.Binding
+		if uerr := json.Unmarshal(mutant, &got); uerr != nil {
+			rejected++
+			continue
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Errorf("seed %d: loader accepted a document that fails Validate: %v", seed, verr)
+		}
+	}
+	if rejected == 0 {
+		t.Error("no corruption seed produced a rejected document; harness too weak")
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosMalformedISPS: deterministic source-level mangling of every
+// corpus description. Parse either errors or yields a tree the rest of the
+// front end can process without panicking.
+func TestChaosMalformedISPS(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, e := range machines.All() {
+		for seed := int64(0); seed < 16; seed++ {
+			src := inject.MangleSource(seed, e.Source)
+			d, err := isps.Parse(src)
+			if err != nil {
+				continue
+			}
+			_ = isps.Validate(d)
+			_ = isps.Format(d)
+		}
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosContextCancellation: cancellation and deadlines cut through
+// every layer — session steps, auto-search, and the interpreter — with
+// context errors, not hangs.
+func TestChaosContextCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	s := chaosSession(t)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(canceled)
+	if err := s.Apply(core.InsSide, "augment.epilogue", nil, transform.Args{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Apply under canceled ctx: %v", err)
+	}
+
+	s2 := chaosSession(t)
+	deadline, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := s2.AutoCompleteCtx(deadline, 8, 1<<30); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("AutoCompleteCtx under expired deadline: %v", err)
+	}
+
+	spin := isps.MustParse(`spin.operation := begin
+** S **
+  x: integer,
+  spin.execute := begin
+    input (x);
+    repeat
+      exit_when (x < 0);
+      x <- x + 1;
+    end_repeat;
+    output (x);
+  end
+end`)
+	rctx, cancel3 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel3()
+	if _, err := interp.RunCtx(rctx, spin, []uint64{0}, interp.NewState(), 1<<30); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("RunCtx under expired deadline: %v", err)
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosCorruptBindingFallback: a structurally corrupt binding injected
+// into the code generator demotes the operation to its decomposition loop
+// — the compile succeeds and the degradation is counted.
+func TestChaosCorruptBindingFallback(t *testing.T) {
+	base := runtime.NumGoroutine()
+	prev := obs.SetDefault(obs.NewRegistry())
+	defer obs.SetDefault(prev)
+
+	restore := codegen.InjectBindings(map[string]*core.Binding{
+		"Intel 8086/scasb/index": {Instruction: "scasb", Operation: "index"},
+	})
+	defer restore()
+
+	prog, err := hll.Parse("data 100 \"needle in a haystack\"\nlet i = index 100 19 'x'\nprint i\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := codegen.For("i8086")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.Compile(prog, codegen.AllOn()); err != nil {
+		t.Fatalf("compile with corrupt binding must degrade, not fail: %v", err)
+	}
+	if n := obs.Default().Counter("codegen.fallback", "i8086/index"); n == 0 {
+		t.Error("codegen.fallback[i8086/index] = 0, want >= 1")
+	}
+	checkGoroutines(t, base)
+}

@@ -20,10 +20,12 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"extra/internal/fault/inject"
 	"extra/internal/isps"
 	"extra/internal/obs"
 )
@@ -79,6 +81,11 @@ type Result struct {
 // which usually means a loop that cannot terminate on the given input.
 var ErrStepLimit = errors.New("interp: step limit exceeded")
 
+// ErrCallDepth is returned when function calls nest past the fixed depth
+// bound. It is wrapped with the offending function's name, so classify
+// with errors.Is.
+var ErrCallDepth = errors.New("interp: call depth limit exceeded")
+
 // AssertError reports a violated assert statement.
 type AssertError struct {
 	Cond string
@@ -101,7 +108,15 @@ type execer struct {
 	steps   int
 	limit   int
 	depth   int
+	// ctx, when non-nil, is polled every ctxCheckMask+1 statements so a
+	// deadline or cancellation stops a runaway description promptly
+	// without taxing the per-statement hot path.
+	ctx context.Context
 }
+
+// ctxCheckMask gates the cancellation poll to one check per 1024
+// statements.
+const ctxCheckMask = 1<<10 - 1
 
 // DefaultStepLimit bounds execution when the caller passes limit <= 0.
 const DefaultStepLimit = 1 << 20
@@ -112,8 +127,15 @@ const DefaultStepLimit = 1 << 20
 // Runs and executed-statement counts are recorded per description in the
 // process metrics registry.
 func Run(d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
+	return RunCtx(nil, d, inputs, state, limit)
+}
+
+// RunCtx is Run bounded by ctx: execution is abandoned (with ctx.Err
+// wrapped in the returned error) shortly after the context is cancelled or
+// its deadline passes. A nil ctx disables the check.
+func RunCtx(ctx context.Context, d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
 	start := time.Now()
-	res, err := runDesc(d, inputs, state, limit)
+	res, err := runDesc(ctx, d, inputs, state, limit)
 	r := obs.Default()
 	if err != nil {
 		r.Inc("interp.run.err", d.Name)
@@ -125,9 +147,18 @@ func Run(d *isps.Description, inputs []uint64, state *State, limit int) (*Result
 	return res, err
 }
 
-func runDesc(d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
+func runDesc(ctx context.Context, d *isps.Description, inputs []uint64, state *State, limit int) (*Result, error) {
 	if limit <= 0 {
 		limit = DefaultStepLimit
+	}
+	// Fault-injection seam: an armed "interp.steplimit" fault replaces the
+	// step budget with its (much smaller) payload, modelling budget
+	// exhaustion deterministically for chaos tests.
+	if f, ok := inject.Fire("interp.steplimit"); ok {
+		limit = int(f.Val)
+		if limit < 1 {
+			limit = 1
+		}
 	}
 	r := d.Routine()
 	if r == nil {
@@ -140,6 +171,7 @@ func runDesc(d *isps.Description, inputs []uint64, state *State, limit int) (*Re
 		state:  state,
 		inputs: inputs,
 		limit:  limit,
+		ctx:    ctx,
 	}
 	for _, reg := range d.Regs() {
 		ex.widths[reg.Name] = reg.Width
@@ -180,6 +212,11 @@ func (ex *execer) stmt(s isps.Stmt) error {
 	ex.steps++
 	if ex.steps > ex.limit {
 		return ErrStepLimit
+	}
+	if ex.ctx != nil && ex.steps&ctxCheckMask == 0 {
+		if err := ex.ctx.Err(); err != nil {
+			return fmt.Errorf("interp: %s interrupted after %d steps: %w", ex.desc.Name, ex.steps, err)
+		}
 	}
 	switch st := s.(type) {
 	case *isps.AssignStmt:
@@ -362,7 +399,7 @@ func (ex *execer) call(name string) (uint64, error) {
 		return 0, fmt.Errorf("interp: call of undeclared function %s()", name)
 	}
 	if ex.depth >= maxCallDepth {
-		return 0, fmt.Errorf("interp: call depth limit exceeded at %s()", name)
+		return 0, fmt.Errorf("%w at %s()", ErrCallDepth, name)
 	}
 	ex.depth++
 	err := ex.block(f.Body)

@@ -1,0 +1,62 @@
+package isps_test
+
+import (
+	"testing"
+
+	"extra/internal/isps"
+	"extra/internal/langops"
+	"extra/internal/machines"
+)
+
+// FuzzParse feeds arbitrary byte strings — seeded with every real corpus
+// description — through the full front end: parse, validate, format, and
+// reparse. The parser must return an error for bad input, never panic, and
+// the printer must round-trip everything the parser accepts.
+func FuzzParse(f *testing.F) {
+	for _, e := range machines.All() {
+		f.Add(e.Source)
+	}
+	for _, e := range langops.All() {
+		f.Add(e.Source)
+	}
+	f.Add("")
+	f.Add("x := begin end")
+	f.Add("a.operation := begin\n** S **\n  n: integer,\n  a.execute := begin\n    input (n);\n  end\nend")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := isps.Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive the rest of the pipeline without
+		// panicking; Validate may reject it (that is its job).
+		_ = isps.Validate(d)
+		text := isps.Format(d)
+		d2, err := isps.Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output failed to reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if text2 := isps.Format(d2); text2 != text {
+			t.Fatalf("format not idempotent:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}
+
+// FuzzParseStmt does the same for the statement-level entry point the
+// binding loader uses on prologue/epilogue augments.
+func FuzzParseStmt(f *testing.F) {
+	f.Add("x <- x + 1;")
+	f.Add("if zf then output (1); else output (0); end_if;")
+	f.Add("repeat exit_when (n = 0); n <- n - 1; end_repeat;")
+	f.Add("Mb[p] <- 0;")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := isps.ParseStmt(src)
+		if err != nil {
+			return
+		}
+		text := isps.StmtString(s)
+		if _, err := isps.ParseStmt(text); err != nil {
+			t.Fatalf("printed statement failed to reparse: %v\ninput: %q\nprinted: %q", err, src, text)
+		}
+	})
+}

@@ -102,8 +102,10 @@ func (s Span) End(attrs map[string]any) {
 
 // JSONLSink writes one JSON object per line — the `--trace FILE` format.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu    sync.Mutex
+	enc   *json.Encoder
+	err   error
+	drops uint64
 }
 
 // NewJSONLSink writes events to w as JSON lines.
@@ -111,12 +113,36 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
 }
 
-// Emit writes the event as one JSON line. Encoding errors are dropped:
-// tracing must never fail the traced computation.
+// Emit writes the event as one JSON line. Write failures never fail the
+// traced computation — tracing is advisory — but they are not swallowed
+// either: the first error is retained for Err, every failed event counts
+// toward Dropped, and the mutex keeps concurrent emissions from
+// interleaving partial lines.
 func (s *JSONLSink) Emit(e *Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.enc.Encode(e)
+	if err := s.enc.Encode(e); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		s.drops++
+	}
+}
+
+// Err returns the first write or encoding error the sink hit (nil when every
+// event was written). Callers that own the trace file should check it at
+// shutdown and report a lossy trace to the user.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dropped reports how many events failed to be written.
+func (s *JSONLSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
 }
 
 // MemSink retains events in memory for tests.

@@ -6,6 +6,7 @@
 package proofs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -47,7 +48,14 @@ func (a *Analysis) Run() (*core.Session, *core.Binding, error) {
 // bounding per-step transform.apply events and the session.finish event.
 // Step counts land in the process metrics registry as analysis.steps /
 // analysis.elementary gauges either way — the paper's Table 2 columns.
-func (a *Analysis) RunObserved(tr *obs.Tracer) (_ *core.Session, _ *core.Binding, err error) {
+func (a *Analysis) RunObserved(tr *obs.Tracer) (*core.Session, *core.Binding, error) {
+	return a.RunCtx(context.Background(), tr)
+}
+
+// RunCtx is RunObserved bounded by ctx: the context is installed on the
+// session, so every scripted step, the finish check, and any auto search
+// the script starts observe its deadline or cancellation.
+func (a *Analysis) RunCtx(ctx context.Context, tr *obs.Tracer) (_ *core.Session, _ *core.Binding, err error) {
 	label := a.Instruction + "/" + a.Operator
 	if tr.Enabled() {
 		sp := tr.StartSpan("analysis", map[string]any{
@@ -79,6 +87,7 @@ func (a *Analysis) RunObserved(tr *obs.Tracer) (_ *core.Session, _ *core.Binding
 	s.Operation = a.Operation
 	s.Extended = a.Extended
 	s.Tracer = tr
+	s.SetContext(ctx)
 	if err = a.Script(s); err != nil {
 		return s, nil, err
 	}

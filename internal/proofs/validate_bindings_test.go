@@ -1,0 +1,36 @@
+package proofs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"extra/internal/core"
+)
+
+// TestAllBindingsValidate guards the binding loader's structural checks
+// against false positives: every binding the real analyses produce must
+// pass Validate, both directly and after a JSON round trip (the loader
+// validates on unmarshal).
+func TestAllBindingsValidate(t *testing.T) {
+	for _, a := range append(Table2(), Extensions()...) {
+		a := a
+		t.Run(a.Instruction+"/"+a.Operator, func(t *testing.T) {
+			t.Parallel()
+			_, b, err := a.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := b.Validate(); err != nil {
+				t.Errorf("fresh binding failed Validate: %v", err)
+			}
+			data, err := json.Marshal(b)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var loaded core.Binding
+			if err := json.Unmarshal(data, &loaded); err != nil {
+				t.Errorf("round-tripped binding failed to load: %v", err)
+			}
+		})
+	}
+}
