@@ -8,10 +8,12 @@
 package extra
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
+	"extra/internal/batch"
 	"extra/internal/catalog"
 	"extra/internal/codegen"
 	"extra/internal/core"
@@ -65,6 +67,85 @@ func BenchmarkTable2(b *testing.B) {
 	for _, a := range proofs.Table2() {
 		a := a
 		b.Run(a.Instruction+"_"+a.Operator, func(b *testing.B) { benchAnalysis(b, a) })
+	}
+}
+
+// autoBenchOp / autoBenchIns differ by surface rewrites only (a commuted
+// comparison and a <= written for =), so the auto-search must find a
+// three-step completion with no guidance. The pair mirrors the stats fault
+// drill: the first two ladder rungs exhaust and the third succeeds, which
+// makes the benchmark exercise the search's dominant cost (probing and
+// deduplicating candidate states) rather than the happy path alone.
+const autoBenchOp = `cpy.operation := begin
+** S **
+  n: integer, a: integer, b: integer,
+  cpy.execute := begin
+    input (n, a, b);
+    repeat
+      exit_when (n <= 0);
+      Mb[b] <- Mb[a];
+      a <- a + 1;
+      b <- b + 1;
+      n <- n - 1;
+    end_repeat;
+  end
+end`
+
+const autoBenchIns = `blt.instruction := begin
+** S **
+  cnt: integer, src: integer, dst: integer,
+  blt.execute := begin
+    input (cnt, src, dst);
+    repeat
+      exit_when (0 = cnt);
+      Mb[dst] <- Mb[src];
+      src <- src + 1;
+      dst <- dst + 1;
+      cnt <- cnt - 1;
+    end_repeat;
+  end
+end`
+
+// BenchmarkAutoSearchLadder measures the bounded auto-search climbing the
+// default retry ladder to rung 3 (depth 4): the auto-heavy hot path the
+// paper's section 7 "little or no user intervention" mode pays for. This is
+// the benchmark the PR 3 before/after numbers in BENCH_PR3*.json track.
+func BenchmarkAutoSearchLadder(b *testing.B) {
+	op := isps.MustParse(autoBenchOp)
+	ins := isps.MustParse(autoBenchIns)
+	ladder := core.AutoLadder(1, 3200, 3)
+	var steps int
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewSession(op, ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := s.AutoCompleteRetry(nil, ladder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = n
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// BenchmarkBatchAnalyzer measures the concurrent batch analyzer over the
+// paper's eleven Table 2 analyses, serial vs a four-worker pool. On a
+// multi-core host the jobs=4 form shows the pool's wall-clock win; on one
+// core the two agree, which is itself the no-overhead check.
+func BenchmarkBatchAnalyzer(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			r := &batch.Runner{Jobs: jobs, Metrics: obs.NewRegistry()}
+			for i := 0; i < b.N; i++ {
+				results := r.Run(context.Background(), proofs.Table2())
+				for j := range results {
+					if results[j].Outcome != "ok" {
+						b.Fatalf("%s: %s", results[j].Pair(), results[j].Error)
+					}
+				}
+			}
+		})
 	}
 }
 

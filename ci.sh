@@ -17,3 +17,11 @@ go test -race -run 'Chaos' ./internal/fault/inject
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/isps
 go test -run '^FuzzParseStmt$' -fuzz '^FuzzParseStmt$' -fuzztime 10s ./internal/isps
 go test -run '^FuzzBindingJSON$' -fuzz '^FuzzBindingJSON$' -fuzztime 10s ./internal/core
+
+# Bench stage: the PR 3 tracked benchmarks (the eleven scripted analyses
+# and the auto-search retry ladder), recorded as BENCH_PR3.json (name ->
+# ns/op, allocs/op, custom metrics) so perf changes land in review as
+# numbers, not anecdotes. Flags match the committed BENCH_PR3_BASELINE.json
+# run, keeping before/after comparable.
+go test -run '^$' -bench 'BenchmarkTable2$|BenchmarkAutoSearchLadder' -benchmem -benchtime 10x -count 1 . | go run ./cmd/benchjson -o BENCH_PR3.json
+test -s BENCH_PR3.json

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document mapping benchmark name to its measurements, so benchmark numbers
+// can be committed and diffed instead of eyeballed:
+//
+//	go test -bench . -benchmem . | go run ./cmd/benchjson -o BENCH.json
+//
+// Standard columns land under fixed keys (ns_per_op, bytes_per_op,
+// allocs_per_op); custom b.ReportMetric units keep their unit name with /
+// replaced by _per_ (e.g. steps, preconds_per_op). Lines that are not
+// benchmark results pass through untouched semantics-wise: they are simply
+// ignored, so the tool can sit at the end of any `go test` pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to `file` instead of stdout")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and keeps every benchmark result line.
+// A result line is "BenchmarkName-8   100   123 ns/op   45 B/op ..." —
+// name starting with Benchmark, an iteration count, then value/unit pairs.
+func parse(r io.Reader) (map[string]map[string]float64, error) {
+	doc := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; not a result line
+		}
+		// Strip the -GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		row := doc[name]
+		if row == nil {
+			row = map[string]float64{}
+			doc[name] = row
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			row[metricKey(fields[i+1])] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return doc, nil
+}
+
+// metricKey normalizes a benchmark unit to a JSON-friendly key:
+// ns/op => ns_per_op, B/op => bytes_per_op, allocs/op => allocs_per_op,
+// custom units keep their name with / spelled _per_.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.ReplaceAll(strings.ReplaceAll(unit, "/", "_per_"), "-", "_")
+}
+
+// write emits the document; encoding/json renders map keys sorted, so
+// committed files diff cleanly run to run.
+func write(w io.Writer, doc map[string]map[string]float64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: extra
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable2/movsb_sassign         	      10	  29455078 ns/op	        25.00 applies/op	      2720 preconds/op	15262647 B/op	  541055 allocs/op
+BenchmarkAutoSearchLadder             	      10	   8713399 ns/op	         2.000 steps	 4353303 B/op	  113847 allocs/op
+BenchmarkParallel-8                   	     100	     12345 ns/op
+PASS
+ok  	extra	3.753s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(doc), doc)
+	}
+	ladder := doc["BenchmarkAutoSearchLadder"]
+	if ladder == nil {
+		t.Fatal("BenchmarkAutoSearchLadder missing")
+	}
+	if ladder["ns_per_op"] != 8713399 {
+		t.Errorf("ns_per_op = %v, want 8713399", ladder["ns_per_op"])
+	}
+	if ladder["steps"] != 2 {
+		t.Errorf("custom metric steps = %v, want 2", ladder["steps"])
+	}
+	if ladder["allocs_per_op"] != 113847 {
+		t.Errorf("allocs_per_op = %v, want 113847", ladder["allocs_per_op"])
+	}
+	table2 := doc["BenchmarkTable2/movsb_sassign"]
+	if table2["preconds_per_op"] != 2720 || table2["bytes_per_op"] != 15262647 {
+		t.Errorf("table2 row wrong: %v", table2)
+	}
+	// The -8 GOMAXPROCS suffix is stripped from the name.
+	if _, ok := doc["BenchmarkParallel"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped: %v", doc)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok extra 0.1s\n")); err == nil {
+		t.Fatal("want an error for input with no benchmark lines")
+	}
+}
+
+func TestMetricKey(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":       "ns_per_op",
+		"B/op":        "bytes_per_op",
+		"allocs/op":   "allocs_per_op",
+		"steps":       "steps",
+		"preconds/op": "preconds_per_op",
+		"paper-steps": "paper_steps",
+	}
+	for unit, want := range cases {
+		if got := metricKey(unit); got != want {
+			t.Errorf("metricKey(%q) = %q, want %q", unit, got, want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"extra/internal/batch"
 	"extra/internal/catalog"
 	"extra/internal/codegen"
 	"extra/internal/core"
@@ -100,6 +101,8 @@ func run(args []string) error {
 		})
 	case "stats":
 		return stats(ctx, args[1:])
+	case "batch":
+		return batchCmd(ctx, args[1:])
 	case "binding":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
@@ -144,6 +147,9 @@ func usage(w io.Writer) {
   extra desc NAME           print a corpus description
   extra stats               run the whole pipeline, print the metrics report
                             (-cpuprofile FILE, -memprofile FILE for pprof)
+  extra batch               run the full proof catalog concurrently
+                            (-jobs N, -validate N, -each-timeout D,
+                             -json | -jsonl for machine-readable reports)
 
 analyze, trace and table2 accept --trace FILE to write a JSONL event trace.
 Every command accepts --timeout DURATION (e.g. 30s, 2m): analyses, searches
@@ -615,6 +621,59 @@ func faultDrill(ctx context.Context) error {
 // so the output is stable across runs and diffable.
 func statsReport(w io.Writer) error {
 	return obs.Default().WriteJSON(w)
+}
+
+// batchCmd runs the full proof catalog (Table 2 plus the extensions)
+// through the concurrent batch analyzer and reports per-analysis outcomes.
+// A failing analysis is a report row, not a failed command — the command
+// errors only when asked-for rows are missing or a row did not end "ok",
+// after the whole report is out.
+func batchCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
+	validate := fs.Int("validate", 0, "differential-validation inputs per analysis (0 = off)")
+	eachTimeout := fs.Duration("each-timeout", 0, "per-analysis timeout (0 = none)")
+	asJSON := fs.Bool("json", false, "emit one JSON document (rows + summary)")
+	asJSONL := fs.Bool("jsonl", false, "emit JSON lines, one row per analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asJSON && *asJSONL {
+		return fmt.Errorf("-json and -jsonl are mutually exclusive")
+	}
+	catalog := append(proofs.Table2(), proofs.Extensions()...)
+	r := &batch.Runner{Jobs: *jobs, Validate: *validate, EachTimeout: *eachTimeout}
+	results := r.Run(ctx, catalog)
+	switch {
+	case *asJSON:
+		if err := batch.WriteJSON(os.Stdout, results); err != nil {
+			return err
+		}
+	case *asJSONL:
+		if err := batch.WriteJSONL(os.Stdout, results); err != nil {
+			return err
+		}
+	default:
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Machine\tInstruction\tLanguage\tOperation\tOutcome\tSteps\tElementary\tms")
+		for i := range results {
+			res := &results[i]
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\n",
+				res.Machine, res.Instruction, res.Language, res.Operation,
+				res.Outcome, res.Steps, res.Elementary, res.DurationMS)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("\n%d analyses: %v\n", len(results), batch.Summary(results))
+	}
+	for i := range results {
+		if results[i].Outcome != "ok" {
+			return fmt.Errorf("%d of %d analyses did not complete ok (first: %s: %s)",
+				len(results)-batch.Summary(results)["ok"], len(results), results[i].Pair(), results[i].Error)
+		}
+	}
+	return nil
 }
 
 func desc(name string) error {

@@ -45,6 +45,9 @@ func TestCommandsRun(t *testing.T) {
 		{"desc", "index"},
 		{"help"},
 		{"stats"},
+		{"batch"},
+		{"batch", "-jobs", "4", "-jsonl"},
+		{"batch", "-jobs", "2", "-validate", "3", "-json"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -68,8 +71,11 @@ func TestCommandErrors(t *testing.T) {
 		{"desc", "nothing"},
 		{"desc"},
 		{"analyze", "scasb/index", "--trace"}, // missing file argument
-		{"survey", "--trace", "x"},           // command does not run analyses
+		{"survey", "--trace", "x"},            // command does not run analyses
 		{"stats", "-bogusflag"},
+		{"batch", "-bogusflag"},
+		{"batch", "-json", "-jsonl"},      // mutually exclusive report forms
+		{"batch", "-each-timeout", "1ns"}, // every analysis times out
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -114,6 +120,51 @@ func TestTraceFlagWritesJSONL(t *testing.T) {
 	// for the paper's coarser steps); every one must appear in the trace.
 	if applies < 30 {
 		t.Errorf("want >=30 transform.apply events (one per proof step), got %d", applies)
+	}
+}
+
+// TestBatchJSONReport captures `extra batch -json` and checks the document
+// covers the whole proof catalog (Table 2 plus extensions) with ok rows.
+func TestBatchJSONReport(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "batch.json")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := os.Stdout
+	os.Stdout = f
+	runErr := run([]string{"batch", "-jobs", "4", "-json"})
+	os.Stdout = prev
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Instruction string `json:"instruction"`
+			Operator    string `json:"operator"`
+			Outcome     string `json:"outcome"`
+			Steps       int    `json:"steps"`
+		} `json:"results"`
+		Summary map[string]int `json:"summary"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("batch -json did not emit valid JSON: %v", err)
+	}
+	want := len(proofs.Table2()) + len(proofs.Extensions())
+	if len(doc.Results) != want || doc.Summary["ok"] != want {
+		t.Fatalf("report covers %d/%d analyses, summary %v", len(doc.Results), want, doc.Summary)
+	}
+	for _, row := range doc.Results {
+		if row.Outcome != "ok" || row.Steps <= 0 {
+			t.Errorf("%s/%s: outcome %s steps %d", row.Instruction, row.Operator, row.Outcome, row.Steps)
+		}
 	}
 }
 

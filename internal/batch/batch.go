@@ -1,0 +1,191 @@
+// Package batch runs the proof catalog — every analysis script of the
+// paper's Table 2 plus this reproduction's extensions — concurrently
+// through a worker pool, with each analysis behind its own fault boundary.
+// One hostile or broken analysis degrades its own row of the report; the
+// rest of the batch completes. The report rows come back in catalog order
+// regardless of which worker finished first, so batch output is
+// deterministic and diffable.
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extra/internal/core"
+	"extra/internal/fault"
+	"extra/internal/obs"
+	"extra/internal/proofs"
+)
+
+// Result is one report row: the analysis identity, how it ended, and its
+// step accounting. Outcome is "ok" or a fault.Classify label ("panic",
+// "budget", "timeout", ...), so downstream tooling can bucket failures
+// without string-matching error text.
+type Result struct {
+	Machine     string `json:"machine"`
+	Instruction string `json:"instruction"`
+	Language    string `json:"language"`
+	Operation   string `json:"operation"`
+	Operator    string `json:"operator"`
+	Extended    bool   `json:"extended,omitempty"`
+	Outcome     string `json:"outcome"`
+	Error       string `json:"error,omitempty"`
+	Steps       int    `json:"steps,omitempty"`
+	Elementary  int    `json:"elementary,omitempty"`
+	// Validated is the number of random inputs differential validation
+	// agreed on (0 when validation was off or the analysis failed).
+	Validated  int   `json:"validated,omitempty"`
+	DurationMS int64 `json:"duration_ms"`
+}
+
+// Pair is the row's instruction/operator label.
+func (r *Result) Pair() string { return r.Instruction + "/" + r.Operator }
+
+// Runner runs a catalog of analyses concurrently.
+type Runner struct {
+	// Jobs is the worker count; 0 means GOMAXPROCS.
+	Jobs int
+	// Validate, when positive, runs differential validation of each
+	// finished binding on that many random inputs.
+	Validate int
+	// EachTimeout, when positive, bounds every single analysis; the batch
+	// context bounds the whole run either way.
+	EachTimeout time.Duration
+	// Tracer observes every analysis (nil-safe). Metrics counts outcomes
+	// under batch.outcome and durations under batch.duration_ms; nil means
+	// the process default registry.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+}
+
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runner) metrics() *obs.Registry {
+	if r.Metrics != nil {
+		return r.Metrics
+	}
+	return obs.Default()
+}
+
+// Run executes every analysis and returns one Result per analysis, in input
+// order. Worker goroutines claim analyses off a shared atomic cursor; a
+// cancelled context stops claiming, and already-claimed analyses finish
+// under their own (cancelled) contexts, reporting "canceled". Run never
+// returns an error: failures are rows, not aborts.
+func (r *Runner) Run(ctx context.Context, analyses []*proofs.Analysis) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(analyses))
+	workers := r.jobs()
+	if workers > len(analyses) {
+		workers = len(analyses)
+	}
+	m := r.metrics()
+	m.Set("batch.jobs", "configured", int64(workers))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(analyses) {
+					return
+				}
+				results[i] = r.runOne(ctx, analyses[i])
+				m.Inc("batch.outcome", results[i].Outcome)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single analysis behind its own fault boundary: a panic
+// out of a script or the engine becomes a *fault.PanicError classified into
+// the row, never a crashed batch.
+func (r *Runner) runOne(ctx context.Context, a *proofs.Analysis) Result {
+	res := Result{
+		Machine: a.Machine, Instruction: a.Instruction,
+		Language: a.Language, Operation: a.Operation,
+		Operator: a.Operator, Extended: a.Extended,
+	}
+	start := time.Now()
+	err := func() (err error) {
+		defer fault.RecoverInto(&err, "batch."+a.Instruction+"/"+a.Operator)
+		runCtx := ctx
+		if r.EachTimeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(ctx, r.EachTimeout)
+			defer cancel()
+		}
+		_, b, err := a.RunCtx(runCtx, r.Tracer)
+		if err != nil {
+			return err
+		}
+		res.Steps, res.Elementary = b.Steps, b.Elementary
+		if r.Validate > 0 {
+			n, err := core.ValidateBindingCtx(runCtx, b, a.Gen, r.Validate, 1, r.Tracer)
+			if err != nil {
+				return fmt.Errorf("differential validation: %w", err)
+			}
+			res.Validated = n
+		}
+		return nil
+	}()
+	res.DurationMS = time.Since(start).Milliseconds()
+	r.metrics().ObserveSince("batch.duration_ms", res.Pair(), start)
+	res.Outcome = fault.Classify(err)
+	if err != nil {
+		res.Error = err.Error()
+	}
+	return res
+}
+
+// Summary aggregates a result set: rows per outcome label.
+func Summary(results []Result) map[string]int {
+	out := map[string]int{}
+	for i := range results {
+		out[results[i].Outcome]++
+	}
+	return out
+}
+
+// WriteJSON writes the report as one indented JSON document with the rows
+// and the outcome summary.
+func WriteJSON(w io.Writer, results []Result) error {
+	doc := struct {
+		Results []Result       `json:"results"`
+		Summary map[string]int `json:"summary"`
+	}{Results: results, Summary: Summary(results)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteJSONL writes the report as JSON lines, one row per analysis, in
+// catalog order.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

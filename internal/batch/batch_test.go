@@ -1,0 +1,145 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"extra/internal/core"
+	"extra/internal/obs"
+	"extra/internal/proofs"
+)
+
+// fastCatalog is a small real catalog for tests that care about pool
+// behavior, not analysis coverage.
+func fastCatalog() []*proofs.Analysis {
+	return []*proofs.Analysis{proofs.Movc3PC2(), proofs.LoccRigel(), proofs.Cmpc3Pascal()}
+}
+
+// TestBatchRunsCatalogInOrder: rows come back in catalog order with ok
+// outcomes and real step counts, whatever the worker count.
+func TestBatchRunsCatalogInOrder(t *testing.T) {
+	cat := fastCatalog()
+	for _, jobs := range []int{1, 4} {
+		r := &Runner{Jobs: jobs, Metrics: obs.NewRegistry()}
+		results := r.Run(context.Background(), cat)
+		if len(results) != len(cat) {
+			t.Fatalf("jobs=%d: %d results for %d analyses", jobs, len(results), len(cat))
+		}
+		for i, res := range results {
+			if res.Instruction != cat[i].Instruction || res.Operator != cat[i].Operator {
+				t.Errorf("jobs=%d row %d: got %s, want %s/%s",
+					jobs, i, res.Pair(), cat[i].Instruction, cat[i].Operator)
+			}
+			if res.Outcome != "ok" {
+				t.Errorf("jobs=%d %s: outcome %s (%s)", jobs, res.Pair(), res.Outcome, res.Error)
+			}
+			if res.Steps <= 0 || res.Elementary < res.Steps {
+				t.Errorf("jobs=%d %s: implausible step counts %d/%d",
+					jobs, res.Pair(), res.Steps, res.Elementary)
+			}
+		}
+	}
+}
+
+// TestBatchPanicIsolation: a panicking script yields one "panic" row; the
+// rest of the batch still completes ok.
+func TestBatchPanicIsolation(t *testing.T) {
+	bad := proofs.Movc3PC2()
+	bad.Script = func(s *core.Session) error { panic("injected script panic") }
+	cat := []*proofs.Analysis{proofs.LoccRigel(), bad, proofs.Cmpc3Pascal()}
+	m := obs.NewRegistry()
+	r := &Runner{Jobs: 3, Metrics: m}
+	results := r.Run(context.Background(), cat)
+	if results[1].Outcome != "panic" {
+		t.Fatalf("panicking analysis classified %q (%s), want panic", results[1].Outcome, results[1].Error)
+	}
+	if !strings.Contains(results[1].Error, "injected script panic") {
+		t.Errorf("panic row does not carry the panic value: %s", results[1].Error)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Outcome != "ok" {
+			t.Errorf("%s: outcome %s, want ok beside a panicking neighbor", results[i].Pair(), results[i].Outcome)
+		}
+	}
+	if got := m.Counter("batch.outcome", "panic"); got != 1 {
+		t.Errorf("batch.outcome{panic} = %d, want 1", got)
+	}
+	if got := m.Counter("batch.outcome", "ok"); got != 2 {
+		t.Errorf("batch.outcome{ok} = %d, want 2", got)
+	}
+}
+
+// TestBatchCancellation: a cancelled batch context turns every row into
+// "canceled" instead of hanging or crashing.
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Jobs: 2, Metrics: obs.NewRegistry()}
+	results := r.Run(ctx, fastCatalog())
+	for _, res := range results {
+		if res.Outcome != "canceled" {
+			t.Errorf("%s: outcome %s, want canceled", res.Pair(), res.Outcome)
+		}
+	}
+}
+
+// TestBatchEachTimeout: a per-analysis deadline in the past classifies as
+// timeout without failing the batch.
+func TestBatchEachTimeout(t *testing.T) {
+	r := &Runner{Jobs: 1, EachTimeout: time.Nanosecond, Metrics: obs.NewRegistry()}
+	results := r.Run(context.Background(), []*proofs.Analysis{proofs.Movc3PC2()})
+	if results[0].Outcome != "timeout" {
+		t.Fatalf("outcome %s (%s), want timeout", results[0].Outcome, results[0].Error)
+	}
+}
+
+// TestBatchValidate: the validation pass runs and reports its input count.
+func TestBatchValidate(t *testing.T) {
+	r := &Runner{Jobs: 1, Validate: 5, Metrics: obs.NewRegistry()}
+	results := r.Run(context.Background(), []*proofs.Analysis{proofs.Movc3PC2()})
+	if results[0].Outcome != "ok" {
+		t.Fatalf("outcome %s (%s), want ok", results[0].Outcome, results[0].Error)
+	}
+	if results[0].Validated != 5 {
+		t.Fatalf("validated %d inputs, want 5", results[0].Validated)
+	}
+}
+
+// TestBatchReportFormats: the JSON document carries rows plus summary; the
+// JSONL form has one parseable object per row.
+func TestBatchReportFormats(t *testing.T) {
+	r := &Runner{Jobs: 2, Metrics: obs.NewRegistry()}
+	results := r.Run(context.Background(), fastCatalog())
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []Result       `json:"results"`
+		Summary map[string]int `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(doc.Results) != len(results) || doc.Summary["ok"] != len(results) {
+		t.Fatalf("report mismatch: %d rows, summary %v", len(doc.Results), doc.Summary)
+	}
+	buf.Reset()
+	if err := WriteJSONL(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(results) {
+		t.Fatalf("%d JSONL lines for %d results", len(lines), len(results))
+	}
+	for _, ln := range lines {
+		var row Result
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+	}
+}

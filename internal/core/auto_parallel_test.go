@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"extra/internal/isps"
+	"extra/internal/langops"
+	"extra/internal/machines"
+	"extra/internal/obs"
+	"extra/internal/transform"
+)
+
+// autoTrail renders the session's recorded steps as one comparable string:
+// side, transformation and path of every step, in order.
+func autoTrail(s *Session) string {
+	var b strings.Builder
+	for _, st := range s.Steps {
+		fmt.Fprintf(&b, "%s %s %s\n", st.Side, st.Xform, st.At)
+	}
+	return b.String()
+}
+
+// searchCase is one (pair, setup, bounds) auto-search scenario used by the
+// determinism tests.
+type searchCase struct {
+	name          string
+	build         func(t *testing.T) *Session
+	depth, budget int
+}
+
+func searchCases() []searchCase {
+	return []searchCase{
+		{
+			name: "cpy_blt",
+			build: func(t *testing.T) *Session {
+				s, err := NewSession(isps.MustParse(autoDrillOpSrc), isps.MustParse(autoDrillInsSrc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			depth: 3, budget: 50000,
+		},
+		{
+			name: "blkcpy_movc3",
+			build: func(t *testing.T) *Session {
+				s := newPairSession(t, "blkcpy", "movc3")
+				if err := s.Apply(InsSide, "augment.epilogue", nil, transform.Args{}); err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			depth: 4, budget: 200000,
+		},
+	}
+}
+
+// TestAutoParallelDeterministic: the search must commit byte-identical step
+// trails and identical explored counts at every worker-pool width — the
+// serial width-1 run is the reference. Hash-check mode is on, so any 128-bit
+// state collision in these searches would also surface here.
+func TestAutoParallelDeterministic(t *testing.T) {
+	autoHashCheck.Store(true)
+	defer autoHashCheck.Store(false)
+	for _, tc := range searchCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			type outcome struct {
+				trail    string
+				steps    int
+				explored uint64
+			}
+			var want outcome
+			for _, workers := range []int{1, 2, 4, 8} {
+				s := tc.build(t)
+				s.AutoWorkers = workers
+				s.Metrics = obs.NewRegistry()
+				n, err := s.AutoComplete(tc.depth, tc.budget)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := outcome{trail: autoTrail(s), steps: n, explored: s.Metrics.Total("auto.explored")}
+				if workers == 1 {
+					want = got
+					if want.steps == 0 {
+						t.Fatal("search found nothing; the case no longer exercises the frontier")
+					}
+					continue
+				}
+				if got.trail != want.trail {
+					t.Errorf("workers=%d: trail differs from serial run\nserial:\n%sworkers=%d:\n%s",
+						workers, want.trail, workers, got.trail)
+				}
+				if got.steps != want.steps || got.explored != want.explored {
+					t.Errorf("workers=%d: (steps, explored) = (%d, %d), serial (%d, %d)",
+						workers, got.steps, got.explored, want.steps, want.explored)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoParallelDeterministicRepeat: two identical parallel runs agree
+// with each other — scheduling noise must not leak into results.
+func TestAutoParallelDeterministicRepeat(t *testing.T) {
+	tc := searchCases()[0]
+	var trails [2]string
+	for i := range trails {
+		s := tc.build(t)
+		s.AutoWorkers = 4
+		s.Metrics = obs.NewRegistry()
+		if _, err := s.AutoComplete(tc.depth, tc.budget); err != nil {
+			t.Fatal(err)
+		}
+		trails[i] = autoTrail(s)
+	}
+	if trails[0] != trails[1] {
+		t.Errorf("identical parallel runs recorded different trails:\n%s\nvs:\n%s", trails[0], trails[1])
+	}
+}
+
+// TestVisitedSetRaceStress hammers the sharded visited set from many
+// goroutines (run under -race in CI) and then checks the min-order-wins
+// contract: for every digest, accept succeeds exactly for the smallest
+// proposed order and fails for every other.
+func TestVisitedSetRaceStress(t *testing.T) {
+	const (
+		goroutines = 16
+		digests    = 400
+		proposals  = 8 // per digest per goroutine
+	)
+	vs := newVisitedSet(false)
+	digest := func(i int) isps.Digest {
+		// Spread across shards; Lo drives the shard choice.
+		return isps.Digest{Hi: uint64(i) * 0x9e3779b97f4a7c15, Lo: uint64(i)}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < digests; i++ {
+				for p := 0; p < proposals; p++ {
+					// Deterministic but goroutine-dependent order keys >= 2;
+					// order 1 is reserved for the known winner below.
+					order := uint64(2 + (g*proposals+p+i)%97)
+					vs.propose(digest(i), order)
+				}
+			}
+		}(g)
+	}
+	// Concurrent winners: one goroutine proposes the global minimum.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < digests; i++ {
+			vs.propose(digest(i), 1)
+		}
+	}()
+	wg.Wait()
+	if got := vs.size(); got != digests {
+		t.Fatalf("visited set holds %d digests, want %d", got, digests)
+	}
+	for i := 0; i < digests; i++ {
+		if vs.accept(digest(i), 2) {
+			t.Fatalf("digest %d: a losing order was accepted", i)
+		}
+		if !vs.accept(digest(i), 1) {
+			t.Fatalf("digest %d: the minimum order was rejected", i)
+		}
+		if vs.accept(digest(i), 1) {
+			t.Fatalf("digest %d: accepted twice", i)
+		}
+	}
+}
+
+// TestHashCollisionFreeOverCorpus: across every description of both corpora
+// — and every (operator, instruction) pairing — distinct formatted states
+// get distinct digests. A failure means the 128-bit digest is conflating
+// states the old string-keyed visited set kept apart.
+func TestHashCollisionFreeOverCorpus(t *testing.T) {
+	var descs []*isps.Description
+	for _, e := range machines.All() {
+		descs = append(descs, isps.MustParse(e.Source))
+	}
+	for _, e := range langops.All() {
+		descs = append(descs, isps.MustParse(e.Source))
+	}
+	seen := map[isps.Digest]string{}
+	note := func(d isps.Digest, key string) {
+		if prev, ok := seen[d]; ok {
+			if prev != key {
+				t.Fatalf("digest collision between distinct states:\n%s\nand:\n%s", prev, key)
+			}
+			return
+		}
+		seen[d] = key
+	}
+	for _, d := range descs {
+		note(isps.Hash(d), isps.Format(d))
+	}
+	for _, a := range descs {
+		for _, b := range descs {
+			note(isps.HashPair(a, b), isps.Format(a)+"\x00"+isps.Format(b))
+		}
+	}
+	if len(seen) < len(descs) {
+		t.Fatalf("only %d distinct digests for %d descriptions", len(seen), len(descs))
+	}
+}
+
+// The drill pair of the determinism cases: the operator differs from the
+// instruction by surface rewrites only (a commuted comparison and <= for =),
+// so a depth-3 search completes it. Shared with the ladder benchmark's
+// scenario at the repo root.
+const autoDrillOpSrc = `cpy.operation := begin
+** S **
+  n: integer, a: integer, b: integer,
+  cpy.execute := begin
+    input (n, a, b);
+    repeat
+      exit_when (n <= 0);
+      Mb[b] <- Mb[a];
+      a <- a + 1;
+      b <- b + 1;
+      n <- n - 1;
+    end_repeat;
+  end
+end`
+
+const autoDrillInsSrc = `blt.instruction := begin
+** S **
+  cnt: integer, src: integer, dst: integer,
+  blt.execute := begin
+    input (cnt, src, dst);
+    repeat
+      exit_when (0 = cnt);
+      Mb[dst] <- Mb[src];
+      src <- src + 1;
+      dst <- dst + 1;
+      cnt <- cnt - 1;
+    end_repeat;
+  end
+end`

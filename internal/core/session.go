@@ -82,6 +82,12 @@ type Session struct {
 	// future-work mode); classic EXTRA rejects them.
 	Extended bool
 
+	// AutoWorkers is the worker-pool width of the auto-search's parallel
+	// frontier expansion; 0 (the default) means GOMAXPROCS. The search's
+	// results are deterministic at every width — 1 forces the serial
+	// reference behavior.
+	AutoWorkers int
+
 	// Tracer receives structured events for every step (application
 	// outcome, cursor path, duration) and for Finish. A nil tracer is a
 	// no-op and adds no allocations on the apply path.

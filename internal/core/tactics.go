@@ -30,37 +30,88 @@ var reducingTransforms = []string{
 
 // Normalize repeatedly applies the reducing local transformations anywhere
 // in the description until none applies, recording every application as a
-// step. It returns the number of steps taken.
+// step. It returns the number of steps taken. Probes are prefiltered by
+// node kind (the same moveKindsOf table the auto-search uses), so a fold
+// is never cloned-and-tried at a declaration or a block where its
+// precondition cannot hold.
 func (s *Session) Normalize(side Side) (int, error) {
+	// Resolve the transforms and their target kinds once.
+	type move struct {
+		name  string
+		tr    *transform.Transformation
+		kinds []string
+		gate  func(isps.Expr) bool
+	}
+	moves := make([]move, 0, len(reducingTransforms))
+	wantKind := map[string]bool{}
+	for _, name := range reducingTransforms {
+		tr, err := transform.Get(name)
+		if err != nil {
+			return 0, err
+		}
+		kinds := moveKindsOf(name)
+		moves = append(moves, move{name: name, tr: tr, kinds: kinds, gate: exprGates[name]})
+		for _, k := range kinds {
+			wantKind[k] = true
+		}
+	}
+	kindOK := func(mv move, kind string) bool {
+		for _, k := range mv.kinds {
+			if k == kind {
+				return true
+			}
+		}
+		return false
+	}
 	steps := 0
 	for {
 		applied := false
 		// Collect candidate paths fresh each round: the tree changes.
 		d := s.Desc(side)
-		var paths []isps.Path
+		type cand struct {
+			p    isps.Path
+			kind string
+		}
+		var paths []cand
 		isps.Walk(d, func(n isps.Node, p isps.Path) bool {
-			paths = append(paths, append(isps.Path(nil), p...))
+			if k := nodeKind(n); k != "" && wantKind[k] {
+				// Walk hands out freshly built paths; no copy needed.
+				paths = append(paths, cand{p: p, kind: k})
+			}
 			return true
 		})
-		for _, p := range paths {
-			if _, err := isps.Resolve(d, p); err != nil {
+		for _, c := range paths {
+			n, err := isps.Resolve(d, c.p)
+			if err != nil {
 				continue // a prior application this round restructured the tree
 			}
-			for _, name := range reducingTransforms {
-				tr, err := transform.Get(name)
-				if err != nil {
-					return steps, err
-				}
-				if _, err := tr.Apply(d, p, nil); err != nil {
-					s.noteProbe(name, err)
+			for _, mv := range moves {
+				if !kindOK(mv, c.kind) {
 					continue
 				}
-				if err := s.Apply(side, name, p, nil); err != nil {
+				if mv.gate != nil {
+					// Gate on the freshly resolved node: an application this
+					// round may have rewritten what sits at the path.
+					if e, isExpr := n.(isps.Expr); !isExpr || !mv.gate(e) {
+						continue
+					}
+				}
+				if _, err := mv.tr.Apply(d, c.p, nil); err != nil {
+					s.noteProbe(mv.name, err)
+					continue
+				}
+				if err := s.Apply(side, mv.name, c.p, nil); err != nil {
 					return steps, err
 				}
 				steps++
 				applied = true
 				d = s.Desc(side)
+				// The application rewrote the node at the path; later moves
+				// must gate on what is there now. A vanished path ends this
+				// candidate: every transform resolves it and would refuse.
+				if n, err = isps.Resolve(d, c.p); err != nil {
+					break
+				}
 			}
 		}
 		if !applied {

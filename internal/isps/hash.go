@@ -1,0 +1,215 @@
+package isps
+
+import "math/bits"
+
+// Digest is a 128-bit structural hash of a node tree. Two trees with the
+// same Format text always hash to the same digest (the encoding covers
+// exactly the fields printing covers: names, widths, comments, operators,
+// literals and their character flag); the auto-search's visited set keys
+// on digests instead of pretty-printed source text, so deduplicating a
+// candidate state costs one tree walk and no string construction or
+// retention.
+type Digest struct {
+	Hi, Lo uint64
+}
+
+// FNV-1a 128-bit parameters (offset basis and prime).
+const (
+	fnvBasisHi = 0x6c62272e07bb0142
+	fnvBasisLo = 0x62b821756295c58d
+	fnvPrimeHi = 0x0000000001000000
+	fnvPrimeLo = 0x000000000000013B
+)
+
+// hasher streams bytes into a 128-bit FNV-1a accumulator. It never builds
+// the encoded byte sequence: every scalar of every node is folded into the
+// running state directly.
+type hasher struct {
+	hi, lo uint64
+}
+
+func newHasher() hasher { return hasher{hi: fnvBasisHi, lo: fnvBasisLo} }
+
+func (h *hasher) byte(b byte) {
+	// FNV-1a: xor the byte in, then multiply the 128-bit state by the
+	// 128-bit prime (mod 2^128).
+	lo := h.lo ^ uint64(b)
+	hi := h.hi
+	carryHi, lo1 := bits.Mul64(lo, fnvPrimeLo)
+	h.hi = hi*fnvPrimeLo + lo*fnvPrimeHi + carryHi
+	h.lo = lo1
+}
+
+func (h *hasher) uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (h *hasher) int(v int) { h.uint64(uint64(int64(v))) }
+
+func (h *hasher) string(s string) {
+	h.int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+func (h *hasher) bool(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+func (h *hasher) digest() Digest { return Digest{Hi: h.hi, Lo: h.lo} }
+
+// Node type tags of the canonical encoding. Every tag is distinct so that
+// trees differing only in node kind ("if" vs "repeat" around the same
+// block) encode differently.
+const (
+	tagDescription byte = iota + 1
+	tagSection
+	tagRegDecl
+	tagFuncDecl
+	tagRoutineDecl
+	tagBlock
+	tagAssign
+	tagIf
+	tagRepeat
+	tagExitWhen
+	tagInput
+	tagOutput
+	tagAssert
+	tagIdent
+	tagNum
+	tagBin
+	tagUn
+	tagMem
+	tagCall
+)
+
+// Hash computes the 128-bit structural digest of n in one tree walk. The
+// encoding mirrors the AST directly — type tags, scalar fields, child
+// counts — rather than the printed source, so hashing is allocation-free
+// and much cheaper than Format. Structural equality implies digest
+// equality; the converse holds up to 128-bit collisions (the auto-search
+// offers a collision-check mode in its tests).
+func Hash(n Node) Digest {
+	h := newHasher()
+	h.node(n)
+	return h.digest()
+}
+
+// HashPair digests two trees into one combined state key, for visited sets
+// keyed on (operator, instruction) description pairs.
+func HashPair(a, b Node) Digest {
+	h := newHasher()
+	h.node(a)
+	h.byte(0xFF) // separator tag outside the node tag range
+	h.node(b)
+	return h.digest()
+}
+
+func (h *hasher) node(n Node) {
+	switch x := n.(type) {
+	case *Description:
+		h.byte(tagDescription)
+		h.string(x.Name)
+		h.int(len(x.Sections))
+		for _, s := range x.Sections {
+			h.node(s)
+		}
+	case *Section:
+		h.byte(tagSection)
+		h.string(x.Name)
+		h.int(len(x.Decls))
+		for _, d := range x.Decls {
+			h.node(d)
+		}
+	case *RegDecl:
+		h.byte(tagRegDecl)
+		h.string(x.Name)
+		h.int(x.Width)
+		h.string(x.Comment)
+	case *FuncDecl:
+		h.byte(tagFuncDecl)
+		h.string(x.Name)
+		h.int(x.Width)
+		h.string(x.Comment)
+		h.node(x.Body)
+	case *RoutineDecl:
+		h.byte(tagRoutineDecl)
+		h.string(x.Name)
+		h.node(x.Body)
+	case *Block:
+		h.byte(tagBlock)
+		h.int(len(x.Stmts))
+		for _, s := range x.Stmts {
+			h.node(s)
+		}
+	case *AssignStmt:
+		h.byte(tagAssign)
+		h.node(x.LHS)
+		h.node(x.RHS)
+	case *IfStmt:
+		h.byte(tagIf)
+		h.node(x.Cond)
+		h.node(x.Then)
+		h.node(x.Else)
+	case *RepeatStmt:
+		h.byte(tagRepeat)
+		h.node(x.Body)
+	case *ExitWhenStmt:
+		h.byte(tagExitWhen)
+		h.node(x.Cond)
+	case *InputStmt:
+		h.byte(tagInput)
+		h.int(len(x.Names))
+		for _, name := range x.Names {
+			h.string(name)
+		}
+	case *OutputStmt:
+		h.byte(tagOutput)
+		h.int(len(x.Exprs))
+		for _, e := range x.Exprs {
+			h.node(e)
+		}
+	case *AssertStmt:
+		h.byte(tagAssert)
+		h.node(x.Cond)
+	case *Ident:
+		h.byte(tagIdent)
+		h.string(x.Name)
+	case *Num:
+		h.byte(tagNum)
+		h.uint64(uint64(x.Val))
+		h.bool(x.IsChar)
+	case *Bin:
+		h.byte(tagBin)
+		h.byte(byte(x.Op))
+		h.node(x.X)
+		h.node(x.Y)
+	case *Un:
+		h.byte(tagUn)
+		h.byte(byte(x.Op))
+		h.node(x.X)
+	case *Mem:
+		h.byte(tagMem)
+		h.node(x.Addr)
+	case *Call:
+		h.byte(tagCall)
+		h.string(x.Name)
+	default:
+		// Future node kinds still hash structurally (type-tag-free), so a
+		// library extension degrades to weaker but correct hashing instead
+		// of a panic mid-search.
+		h.byte(0xFE)
+		h.int(n.NumChildren())
+		for i := 0; i < n.NumChildren(); i++ {
+			h.node(n.Child(i))
+		}
+	}
+}
