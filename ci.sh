@@ -25,3 +25,45 @@ go test -run '^FuzzBindingJSON$' -fuzz '^FuzzBindingJSON$' -fuzztime 10s ./inter
 # run, keeping before/after comparable.
 go test -run '^$' -bench 'BenchmarkTable2$|BenchmarkAutoSearchLadder' -benchmem -benchtime 10x -count 1 . | go run ./cmd/benchjson -o BENCH_PR3.json
 test -s BENCH_PR3.json
+
+# Serve smoke: boot the real binary, run one analysis over HTTP, scrape
+# /metrics, then SIGTERM it and require a clean (exit 0) graceful drain.
+go build -o /tmp/extra_ci ./cmd/extra
+SERVE_LOG=$(mktemp)
+/tmp/extra_ci serve -addr 127.0.0.1:0 >"$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^serving on //p' "$SERVE_LOG")
+  if [ -n "$ADDR" ]; then break; fi
+  sleep 0.1
+done
+test -n "$ADDR"
+curl -fsS -X POST "http://$ADDR/analyze?pair=scasb/index" | grep -q '"outcome": *"ok"'
+curl -fsS "http://$ADDR/metrics" | grep -q '"server.requests"'
+curl -fsS "http://$ADDR/readyz" | grep -q ready
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'drained:' "$SERVE_LOG"
+rm -f "$SERVE_LOG"
+
+# Checkpoint-resume stage: kill -9 a journaling batch run mid-flight, resume
+# it, and require the final report byte-identical (modulo durations) to an
+# uninterrupted run.
+CKPT_DIR=$(mktemp -d)
+/tmp/extra_ci batch -jobs 2 -validate 2000 -jsonl "$CKPT_DIR/ref.jsonl"
+/tmp/extra_ci batch -jobs 1 -validate 2000 -jsonl "$CKPT_DIR/journal.jsonl" &
+BATCH_PID=$!
+for _ in $(seq 1 200); do
+  if [ "$(grep -c . "$CKPT_DIR/journal.jsonl" 2>/dev/null || echo 0)" -ge 3 ]; then break; fi
+  sleep 0.05
+done
+kill -9 "$BATCH_PID"
+wait "$BATCH_PID" || true
+PARTIAL=$(grep -c . "$CKPT_DIR/journal.jsonl")
+test "$PARTIAL" -ge 3
+/tmp/extra_ci batch -jobs 2 -validate 2000 -jsonl "$CKPT_DIR/journal.jsonl" -resume "$CKPT_DIR/journal.jsonl"
+sed 's/"duration_ms":[0-9]*/"duration_ms":0/' "$CKPT_DIR/ref.jsonl" > "$CKPT_DIR/ref.norm"
+sed 's/"duration_ms":[0-9]*/"duration_ms":0/' "$CKPT_DIR/journal.jsonl" > "$CKPT_DIR/journal.norm"
+diff "$CKPT_DIR/ref.norm" "$CKPT_DIR/journal.norm"
+rm -rf "$CKPT_DIR" /tmp/extra_ci

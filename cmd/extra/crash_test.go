@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/proofs"
+)
+
+// TestHelperBatch is not a test: re-exec'd by the crash tests, it runs the
+// real CLI (signal handling included) so a kill hits a genuine batch run.
+func TestHelperBatch(t *testing.T) {
+	if os.Getenv("EXTRA_HELPER_BATCH") == "" {
+		t.Skip("helper process entry point; driven by the crash tests")
+	}
+	if err := run(strings.Fields(os.Getenv("EXTRA_HELPER_ARGS"))); err != nil {
+		fmt.Fprintln(os.Stderr, "extra:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperProc is a started helper with its exit funneled through one
+// channel, so tests never race two Wait calls.
+type helperProc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// startHelperBatch launches this test binary as an `extra batch` process.
+func startHelperBatch(t *testing.T, args string) *helperProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperBatch$", "-test.v=false")
+	cmd.Env = append(os.Environ(),
+		"EXTRA_HELPER_BATCH=1",
+		"EXTRA_HELPER_ARGS="+args,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &helperProc{cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		p.waitErr()
+	})
+	return p
+}
+
+// waitErr blocks until the helper exits and returns its Wait error; the
+// value is re-buffered so any number of callers may ask.
+func (p *helperProc) waitErr() error {
+	err := <-p.done
+	p.done <- err
+	return err
+}
+
+// exited reports (without consuming) whether the helper has exited.
+func (p *helperProc) exited() bool {
+	select {
+	case err := <-p.done:
+		p.done <- err
+		return true
+	default:
+		return false
+	}
+}
+
+// journalLines counts complete (newline-terminated) lines in the journal.
+func journalLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return strings.Count(string(data), "\n")
+}
+
+// waitForJournal polls until the journal holds at least n complete rows or
+// the process exits, reporting whether the threshold was reached while the
+// run was still in flight.
+func waitForJournal(p *helperProc, path string, n int, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if journalLines(path) >= n {
+			return !p.exited()
+		}
+		if p.exited() {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// normalizeReport re-encodes a JSONL report with durations zeroed, so two
+// runs of the same catalog compare byte-identical modulo timing.
+func normalizeReport(t *testing.T, path string) string {
+	t.Helper()
+	rows, err := batch.ReadJournal(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var sb strings.Builder
+	for i := range rows {
+		rows[i].DurationMS = 0
+		line, err := json.Marshal(&rows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestBatchKillDashNineResume is the crash-safety acceptance test: a batch
+// run is SIGKILLed mid-flight, its journal survives as valid JSONL, and a
+// -resume run completes the catalog with a final report byte-identical
+// (modulo durations) to an uninterrupted run.
+func TestBatchKillDashNineResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and full batch runs")
+	}
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.jsonl")
+	journal := filepath.Join(dir, "journal.jsonl")
+
+	// The uninterrupted reference run, in-process.
+	if err := run([]string{"batch", "-jobs", "2", "-validate", "2000", "-jsonl", ref}); err != nil {
+		t.Fatalf("reference batch: %v", err)
+	}
+
+	// The victim: single worker so rows land one at a time, killed -9 once
+	// a few rows are journaled.
+	p := startHelperBatch(t, "batch -jobs 1 -validate 2000 -jsonl "+journal)
+	midFlight := waitForJournal(p, journal, 3, 30*time.Second)
+	if midFlight {
+		if err := p.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+			t.Fatalf("kill -9: %v", err)
+		}
+		p.waitErr()
+	}
+
+	// The surviving journal must be a valid JSONL prefix with only
+	// completed rows in it.
+	rows, err := batch.ReadJournal(journal)
+	if err != nil {
+		t.Fatalf("journal after kill -9 is unreadable: %v", err)
+	}
+	want := len(proofs.Table2()) + len(proofs.Extensions())
+	if midFlight {
+		if len(rows) == 0 || len(rows) >= want {
+			t.Fatalf("expected a partial journal after mid-flight kill, got %d/%d rows", len(rows), want)
+		}
+		t.Logf("killed -9 with %d/%d rows journaled", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Outcome != "ok" {
+			t.Errorf("journaled row %s has outcome %s (%s)", r.Pair(), r.Outcome, r.Error)
+		}
+	}
+
+	// Resume against the same journal: only the missing rows run; the
+	// journal is compacted into the canonical catalog-order report.
+	if err := run([]string{"batch", "-jobs", "2", "-validate", "2000", "-jsonl", journal, "-resume", journal}); err != nil {
+		t.Fatalf("resumed batch: %v", err)
+	}
+	got, wantReport := normalizeReport(t, journal), normalizeReport(t, ref)
+	if got != wantReport {
+		t.Errorf("resumed report differs from the uninterrupted run:\n--- resumed\n%s--- uninterrupted\n%s", got, wantReport)
+	}
+	if n := journalLines(journal); n != want {
+		t.Errorf("final report has %d rows, want %d", n, want)
+	}
+}
+
+// TestBatchSIGINTLeavesValidJournal sends SIGINT to a running batch: the
+// process must exit through the signal-cancelled context (nonzero, since
+// rows were cut short) and the journal must remain a valid JSONL prefix
+// holding only rows that actually completed.
+func TestBatchSIGINTLeavesValidJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and full batch runs")
+	}
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	p := startHelperBatch(t, "batch -jobs 1 -validate 2000 -jsonl "+journal)
+	midFlight := waitForJournal(p, journal, 2, 30*time.Second)
+	if !midFlight {
+		// The run outraced the poll; nothing to interrupt, but the journal
+		// contract still holds below.
+		t.Log("batch finished before SIGINT could land")
+	} else {
+		if err := p.cmd.Process.Signal(syscall.SIGINT); err != nil {
+			t.Fatalf("SIGINT: %v", err)
+		}
+		if err := p.waitErr(); err == nil {
+			t.Error("SIGINT-cancelled batch exited 0; want a nonzero exit for an incomplete run")
+		}
+	}
+	rows, err := batch.ReadJournal(journal)
+	if err != nil {
+		t.Fatalf("journal after SIGINT is unreadable: %v", err)
+	}
+	if midFlight && len(rows) == 0 {
+		t.Fatal("no rows survived in the journal")
+	}
+	for _, r := range rows {
+		if r.Outcome == "canceled" {
+			t.Errorf("journal holds a canceled row for %s; canceled rows must not be journaled", r.Pair())
+		}
+	}
+}

@@ -26,10 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -44,6 +47,7 @@ import (
 	"extra/internal/machines"
 	"extra/internal/obs"
 	"extra/internal/proofs"
+	"extra/internal/server"
 	"extra/internal/transform"
 )
 
@@ -63,7 +67,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the command context: running analyses, searches,
+	// batches, and the server observe it and wind down instead of being torn
+	// mid-write. Once the context is down the handler is unregistered, so a
+	// second signal kills the process the default way — an escape hatch when
+	// a drain hangs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sigCtx := ctx
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -103,6 +118,8 @@ func run(args []string) error {
 		return stats(ctx, args[1:])
 	case "batch":
 		return batchCmd(ctx, args[1:])
+	case "serve":
+		return serveCmd(ctx, args[1:])
 	case "binding":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
@@ -149,11 +166,21 @@ func usage(w io.Writer) {
                             (-cpuprofile FILE, -memprofile FILE for pprof)
   extra batch               run the full proof catalog concurrently
                             (-jobs N, -validate N, -each-timeout D,
-                             -json | -jsonl for machine-readable reports)
+                             -retries N re-runs timeout/panic rows,
+                             -json FILE | -jsonl FILE atomic reports ("-" = stdout),
+                             -jsonl journals crash-safe; -resume FILE skips
+                             rows journaled by a killed run)
+  extra serve               serve analyses over HTTP+JSON until SIGTERM
+                            (-addr HOST:PORT, -queue N, -jobs N,
+                             -drain-timeout D, -validate N,
+                             -request-timeout D, -journal FILE;
+                             endpoints: /analyze /batch /healthz /readyz /metrics)
 
 analyze, trace and table2 accept --trace FILE to write a JSONL event trace.
 Every command accepts --timeout DURATION (e.g. 30s, 2m): analyses, searches
-and interpreter runs are abandoned with a timeout error past the deadline.`)
+and interpreter runs are abandoned with a timeout error past the deadline.
+SIGINT/SIGTERM cancel the running command the same way; a second signal
+kills the process immediately.`)
 }
 
 // extractTimeout pulls a `--timeout DURATION` flag (also -timeout DURATION,
@@ -628,31 +655,82 @@ func statsReport(w io.Writer) error {
 // A failing analysis is a report row, not a failed command — the command
 // errors only when asked-for rows are missing or a row did not end "ok",
 // after the whole report is out.
+//
+// Report files are crash-safe: `-jsonl FILE` journals every completed row
+// (append + fsync) so a killed run loses at most the in-flight row, then
+// compacts the journal into the canonical catalog-order report via an
+// atomic rename when the run completes; `-json FILE` writes the whole
+// document atomically. `-resume FILE` reloads a previous journal and skips
+// its rows, so re-running after a kill finishes only what is missing.
 func batchCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
 	validate := fs.Int("validate", 0, "differential-validation inputs per analysis (0 = off)")
 	eachTimeout := fs.Duration("each-timeout", 0, "per-analysis timeout (0 = none)")
-	asJSON := fs.Bool("json", false, "emit one JSON document (rows + summary)")
-	asJSONL := fs.Bool("jsonl", false, "emit JSON lines, one row per analysis")
+	retries := fs.Int("retries", 0, "re-run timeout/panic rows up to `N` times with doubled budget")
+	asJSON := fs.String("json", "", "write one JSON document (rows + summary) atomically to `file` (\"-\" = stdout)")
+	asJSONL := fs.String("jsonl", "", "journal rows to `file` as crash-safe JSONL (\"-\" = stdout, not crash-safe)")
+	resume := fs.String("resume", "", "skip rows already journaled in `file` (a previous -jsonl run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *asJSON && *asJSONL {
+	if *asJSON != "" && *asJSONL != "" {
 		return fmt.Errorf("-json and -jsonl are mutually exclusive")
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
 	catalog := append(proofs.Table2(), proofs.Extensions()...)
-	r := &batch.Runner{Jobs: *jobs, Validate: *validate, EachTimeout: *eachTimeout}
+	r := &batch.Runner{Jobs: *jobs, Validate: *validate, EachTimeout: *eachTimeout, Retries: *retries}
+	if *resume != "" {
+		prior, err := batch.ReadJournal(*resume)
+		if err != nil {
+			return fmt.Errorf("-resume: %v", err)
+		}
+		r.Completed = batch.CompletedFrom(prior)
+	}
+	var journal *batch.Journal
+	if *asJSONL != "" && *asJSONL != "-" {
+		j, err := batch.OpenJournal(*asJSONL)
+		if err != nil {
+			return err
+		}
+		journal = j
+		r.OnResult = func(res batch.Result) {
+			if res.Outcome == "canceled" {
+				return // a canceled row must re-run on resume, not be skipped
+			}
+			if aerr := journal.Append(res); aerr != nil {
+				fmt.Fprintf(os.Stderr, "extra: journal %s: %v\n", *asJSONL, aerr)
+			}
+		}
+	}
 	results := r.Run(ctx, catalog)
 	switch {
-	case *asJSON:
+	case *asJSON == "-":
 		if err := batch.WriteJSON(os.Stdout, results); err != nil {
 			return err
 		}
-	case *asJSONL:
+	case *asJSON != "":
+		if err := batch.WriteJSONFile(*asJSON, results); err != nil {
+			return err
+		}
+	case *asJSONL == "-":
 		if err := batch.WriteJSONL(os.Stdout, results); err != nil {
 			return err
 		}
+	case journal != nil:
+		// A completed run compacts the journal into the canonical
+		// catalog-order report; a canceled one keeps the raw journal so
+		// -resume can pick up from it.
+		if ctx.Err() == nil {
+			if err := journal.Rewrite(results); err != nil {
+				return err
+			}
+		} else if err := journal.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%d analyses: %v (journal: %s)\n", len(results), batch.Summary(results), *asJSONL)
 	default:
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "Machine\tInstruction\tLanguage\tOperation\tOutcome\tSteps\tElementary\tms")
@@ -674,6 +752,59 @@ func batchCmd(ctx context.Context, args []string) error {
 		}
 	}
 	return nil
+}
+
+// serveCmd runs the analysis service until SIGINT/SIGTERM, then drains.
+// `-journal FILE` appends every served analysis row to the same crash-safe
+// JSONL journal the batch command uses.
+func serveCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen `address` (host:port; port 0 picks a free port)")
+	queue := fs.Int("queue", 16, "admission queue depth beyond the workers; excess requests get 429")
+	jobs := fs.Int("jobs", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight work after a shutdown signal")
+	validate := fs.Int("validate", 0, "differential-validation inputs per served analysis (0 = off)")
+	reqTimeout := fs.Duration("request-timeout", time.Minute, "default per-request analysis deadline")
+	journalFile := fs.String("journal", "", "append served analysis rows to `file` as crash-safe JSONL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
+	}
+	cfg := server.Config{
+		Addr: *addr, Queue: *queue, Jobs: *jobs,
+		DrainTimeout: *drainTimeout, RequestTimeout: *reqTimeout,
+		Validate: *validate,
+	}
+	var journal *batch.Journal
+	if *journalFile != "" {
+		j, err := batch.OpenJournal(*journalFile)
+		if err != nil {
+			return err
+		}
+		journal = j
+		cfg.OnResult = func(res batch.Result) {
+			if aerr := j.Append(res); aerr != nil {
+				fmt.Fprintf(os.Stderr, "extra: journal %s: %v\n", *journalFile, aerr)
+			}
+		}
+	}
+	srv := server.New(cfg)
+	err := srv.Run(ctx, func(a net.Addr) {
+		fmt.Printf("serving on %s\n", a)
+	})
+	// Flush sinks before reporting: the journal's last row must be durable
+	// by the time the process exits.
+	if journal != nil {
+		if cerr := journal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	m := obs.Default()
+	fmt.Printf("drained: %d requests served, %d shed\n",
+		m.Total("server.requests"), m.Total("server.shed"))
+	return err
 }
 
 func desc(name string) error {

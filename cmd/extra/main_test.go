@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"extra/internal/obs"
 	"extra/internal/proofs"
@@ -46,8 +47,8 @@ func TestCommandsRun(t *testing.T) {
 		{"help"},
 		{"stats"},
 		{"batch"},
-		{"batch", "-jobs", "4", "-jsonl"},
-		{"batch", "-jobs", "2", "-validate", "3", "-json"},
+		{"batch", "-jobs", "4", "-jsonl", "-"},
+		{"batch", "-jobs", "2", "-validate", "3", "-json", "-"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -74,12 +75,72 @@ func TestCommandErrors(t *testing.T) {
 		{"survey", "--trace", "x"},            // command does not run analyses
 		{"stats", "-bogusflag"},
 		{"batch", "-bogusflag"},
-		{"batch", "-json", "-jsonl"},      // mutually exclusive report forms
+		{"batch", "-json", "-", "-jsonl", "-"}, // mutually exclusive report forms
+		{"batch", "-jsonl"},                    // -jsonl now needs a file argument
+		{"batch", "-retries", "-1"},
 		{"batch", "-each-timeout", "1ns"}, // every analysis times out
+		{"serve", "-bogusflag"},
+		{"serve", "-addr"},             // missing value
+		{"serve", "positional"},        // serve takes no positional args
+		{"analyze", "scasb/index", "--timeout"},   // missing duration as final arg
+		{"analyze", "scasb/index", "--timeout=0"}, // zero timeout is rejected
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("extra %v: expected an error", args)
+		}
+	}
+}
+
+// TestExtractTimeout pins the flag-extraction edge cases: the flag as the
+// final argument with no value, duplicates (last one wins), the explicit
+// zero, and every accepted spelling.
+func TestExtractTimeout(t *testing.T) {
+	cases := []struct {
+		args     []string
+		wantRest []string
+		want     time.Duration
+		wantErr  bool
+	}{
+		{args: nil, wantRest: nil, want: 0},
+		{args: []string{"table2"}, wantRest: []string{"table2"}, want: 0},
+		{args: []string{"table2", "--timeout", "30s"}, wantRest: []string{"table2"}, want: 30 * time.Second},
+		{args: []string{"--timeout", "30s", "table2"}, wantRest: []string{"table2"}, want: 30 * time.Second},
+		{args: []string{"table2", "-timeout", "2m"}, wantRest: []string{"table2"}, want: 2 * time.Minute},
+		{args: []string{"table2", "--timeout=45s"}, wantRest: []string{"table2"}, want: 45 * time.Second},
+		{args: []string{"table2", "-timeout=45s"}, wantRest: []string{"table2"}, want: 45 * time.Second},
+		// The flag as the final argument with no value is an error, not a
+		// silent drop.
+		{args: []string{"table2", "--timeout"}, wantErr: true},
+		{args: []string{"--timeout"}, wantErr: true},
+		// Duplicate flags: the last occurrence wins.
+		{args: []string{"--timeout", "5s", "table2", "--timeout", "7s"}, wantRest: []string{"table2"}, want: 7 * time.Second},
+		{args: []string{"--timeout=5s", "--timeout=9s"}, wantRest: nil, want: 9 * time.Second},
+		// Zero and negative durations are rejected: a zero deadline would
+		// cancel every analysis before it starts.
+		{args: []string{"--timeout=0"}, wantErr: true},
+		{args: []string{"--timeout", "0s"}, wantErr: true},
+		{args: []string{"--timeout", "-5s"}, wantErr: true},
+		{args: []string{"--timeout", "bogus"}, wantErr: true},
+		{args: []string{"--timeout="}, wantErr: true},
+	}
+	for _, tc := range cases {
+		rest, d, err := extractTimeout(tc.args)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("extractTimeout(%q): expected an error, got rest=%q d=%v", tc.args, rest, d)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("extractTimeout(%q): %v", tc.args, err)
+			continue
+		}
+		if d != tc.want {
+			t.Errorf("extractTimeout(%q): timeout %v, want %v", tc.args, d, tc.want)
+		}
+		if strings.Join(rest, " ") != strings.Join(tc.wantRest, " ") {
+			t.Errorf("extractTimeout(%q): rest %q, want %q", tc.args, rest, tc.wantRest)
 		}
 	}
 }
@@ -123,23 +184,13 @@ func TestTraceFlagWritesJSONL(t *testing.T) {
 	}
 }
 
-// TestBatchJSONReport captures `extra batch -json` and checks the document
-// covers the whole proof catalog (Table 2 plus extensions) with ok rows.
+// TestBatchJSONReport runs `extra batch -json FILE` and checks the document
+// covers the whole proof catalog (Table 2 plus extensions) with ok rows —
+// written atomically to the file, no stdout capture needed.
 func TestBatchJSONReport(t *testing.T) {
 	file := filepath.Join(t.TempDir(), "batch.json")
-	f, err := os.Create(file)
-	if err != nil {
+	if err := run([]string{"batch", "-jobs", "4", "-json", file}); err != nil {
 		t.Fatal(err)
-	}
-	prev := os.Stdout
-	os.Stdout = f
-	runErr := run([]string{"batch", "-jobs", "4", "-json"})
-	os.Stdout = prev
-	if cerr := f.Close(); cerr != nil {
-		t.Fatal(cerr)
-	}
-	if runErr != nil {
-		t.Fatal(runErr)
 	}
 	data, err := os.ReadFile(file)
 	if err != nil {

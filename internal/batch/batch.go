@@ -57,6 +57,21 @@ type Runner struct {
 	// EachTimeout, when positive, bounds every single analysis; the batch
 	// context bounds the whole run either way.
 	EachTimeout time.Duration
+	// Retries re-runs rows whose outcome classified "timeout" or "panic" up
+	// to this many more times, doubling EachTimeout per attempt — the batch
+	// analog of core.AutoCompleteRetry's escalating rung ladder. Each retry
+	// counts batch.retried; a retried row that ends "ok" counts
+	// batch.recovered.
+	Retries int
+	// Completed maps Result.Key() to rows finished elsewhere — a resumed
+	// journal, a tripped circuit breaker's cached failure. Matching catalog
+	// rows are copied into the report without running, counted
+	// batch.skipped, and never reach OnResult.
+	Completed map[string]Result
+	// OnResult observes each freshly-executed row as it completes, in
+	// completion order (the journaling hook). Calls are serialized by the
+	// Runner; OnResult itself need not be concurrency-safe.
+	OnResult func(Result)
 	// Tracer observes every analysis (nil-safe). Metrics counts outcomes
 	// under batch.outcome and durations under batch.duration_ms; nil means
 	// the process default registry.
@@ -79,47 +94,106 @@ func (r *Runner) metrics() *obs.Registry {
 }
 
 // Run executes every analysis and returns one Result per analysis, in input
-// order. Worker goroutines claim analyses off a shared atomic cursor; a
-// cancelled context stops claiming, and already-claimed analyses finish
-// under their own (cancelled) contexts, reporting "canceled". Run never
-// returns an error: failures are rows, not aborts.
+// order. Rows whose key appears in Completed are copied from there without
+// running. Worker goroutines claim the remaining analyses off a shared
+// atomic cursor; a cancelled context stops claiming, and already-claimed
+// analyses finish under their own (cancelled) contexts, reporting
+// "canceled". After the first pass, timeout/panic rows climb the Retries
+// ladder. Run never returns an error: failures are rows, not aborts.
 func (r *Runner) Run(ctx context.Context, analyses []*proofs.Analysis) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]Result, len(analyses))
+	m := r.metrics()
+	pending := make([]int, 0, len(analyses))
+	for i, a := range analyses {
+		if done, ok := r.Completed[AnalysisKey(a)]; ok {
+			results[i] = done
+			m.Inc("batch.skipped", done.Pair())
+			continue
+		}
+		pending = append(pending, i)
+	}
+	r.runIndices(ctx, r, analyses, pending, results)
+	for attempt := 1; attempt <= r.Retries && ctx.Err() == nil; attempt++ {
+		var retry []int
+		for _, i := range pending {
+			if o := results[i].Outcome; o == "timeout" || o == "panic" {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 {
+			break
+		}
+		// The escalated rung: same runner, wider per-analysis budget —
+		// EachTimeout doubles per attempt, mirroring core.AutoLadder.
+		rung := *r
+		rung.EachTimeout = r.EachTimeout << attempt
+		for _, i := range retry {
+			m.Inc("batch.retried", results[i].Pair())
+		}
+		before := make(map[int]string, len(retry))
+		for _, i := range retry {
+			before[i] = results[i].Outcome
+		}
+		r.runIndices(ctx, &rung, analyses, retry, results)
+		for _, i := range retry {
+			if results[i].Outcome == "ok" && before[i] != "ok" {
+				m.Inc("batch.recovered", results[i].Pair())
+			}
+		}
+	}
+	return results
+}
+
+// runIndices drives the worker pool over the given result indices, using
+// cfg's per-analysis settings. Completed rows land in results and fan out
+// through OnResult (serialized) in completion order.
+func (r *Runner) runIndices(ctx context.Context, cfg *Runner, analyses []*proofs.Analysis, idxs []int, results []Result) {
+	if len(idxs) == 0 {
+		return
+	}
 	workers := r.jobs()
-	if workers > len(analyses) {
-		workers = len(analyses)
+	if workers > len(idxs) {
+		workers = len(idxs)
 	}
 	m := r.metrics()
 	m.Set("batch.jobs", "configured", int64(workers))
 	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		reportMu sync.Mutex
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(analyses) {
+				n := int(next.Add(1)) - 1
+				if n >= len(idxs) {
 					return
 				}
-				results[i] = r.runOne(ctx, analyses[i])
-				m.Inc("batch.outcome", results[i].Outcome)
+				i := idxs[n]
+				res := cfg.RunOne(ctx, analyses[i])
+				results[i] = res
+				m.Inc("batch.outcome", res.Outcome)
+				if r.OnResult != nil {
+					reportMu.Lock()
+					r.OnResult(res)
+					reportMu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return results
 }
 
-// runOne executes a single analysis behind its own fault boundary: a panic
+// RunOne executes a single analysis behind its own fault boundary: a panic
 // out of a script or the engine becomes a *fault.PanicError classified into
-// the row, never a crashed batch.
-func (r *Runner) runOne(ctx context.Context, a *proofs.Analysis) Result {
+// the row, never a crashed process. The analysis server serves /analyze
+// through exactly this boundary.
+func (r *Runner) RunOne(ctx context.Context, a *proofs.Analysis) Result {
 	res := Result{
 		Machine: a.Machine, Instruction: a.Instruction,
 		Language: a.Language, Operation: a.Operation,

@@ -1,0 +1,198 @@
+// Crash-safe batch journaling. A Journal appends each completed Result as
+// one fsynced JSON line, so a process killed mid-batch (SIGKILL included)
+// loses at most the row that was being written; every earlier row survives
+// as valid JSONL. ReadJournal tolerates the torn tail, and CompletedFrom
+// turns the surviving rows into the Runner.Completed skip set, which is how
+// `extra batch -resume FILE` restarts a killed run from where it died.
+// WriteFileAtomic is the shared write-tmp+fsync+rename helper behind every
+// report file the batch CLI and the analysis server produce: a reader of
+// the target path sees the old complete report or the new complete report,
+// never a truncation.
+package batch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"extra/internal/proofs"
+)
+
+// Key identifies this row's catalog entry across runs: every field that
+// selects the analysis, none that describe one execution of it. Journal
+// resume matches rows by this key.
+func (r *Result) Key() string {
+	return r.Machine + "|" + r.Instruction + "|" + r.Language + "|" + r.Operation + "|" + r.Operator
+}
+
+// AnalysisKey is Result.Key for a catalog entry that has not run yet.
+func AnalysisKey(a *proofs.Analysis) string {
+	return a.Machine + "|" + a.Instruction + "|" + a.Language + "|" + a.Operation + "|" + a.Operator
+}
+
+// Journal is an append-only crash-safe result log. Append is safe for
+// concurrent use; each row is one JSON line followed by a file sync, so
+// rows are durable in order of completion.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) an append-mode journal at path.
+// An existing journal is extended, not truncated — resume appends the
+// remaining rows after the survivors.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append journals one completed row: a single buffered JSON line, then
+// fsync. The encode happens before any byte reaches the file, so a failed
+// encode never writes a partial line.
+func (j *Journal) Append(r Result) error {
+	line, err := json.Marshal(&r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file, leaving its contents as-is.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Rewrite replaces the journal file with the canonical catalog-order report
+// via WriteFileAtomic, closing the append handle first. A batch run that
+// finished (rather than being killed) calls this so the journal file doubles
+// as the final JSONL report: same bytes as an uninterrupted run, with
+// completion-order and superseded (retried, resumed) rows compacted away.
+func (j *Journal) Rewrite(results []Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	return WriteFileAtomic(j.path, func(w io.Writer) error {
+		return WriteJSONL(w, results)
+	})
+}
+
+// ReadJournal loads the surviving rows of a journal. A missing file is an
+// empty journal (resume of a run that never started). The read stops at the
+// first line that is not a complete JSON row — the torn tail of a kill -9 —
+// and returns every row before it; a torn tail is expected, not an error.
+func ReadJournal(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var rows []Result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		return rows, fmt.Errorf("reading journal %s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// CompletedFrom builds the Runner.Completed skip set from journaled rows:
+// last row per key wins (a retried row supersedes its first attempt), and
+// "canceled" rows are dropped — a row that was cut by the dying run's
+// context must re-run on resume.
+func CompletedFrom(rows []Result) map[string]Result {
+	done := make(map[string]Result, len(rows))
+	for _, r := range rows {
+		if r.Outcome == "canceled" {
+			delete(done, r.Key())
+			continue
+		}
+		done[r.Key()] = r
+	}
+	return done
+}
+
+// WriteFileAtomic writes a file via write(w) into a temporary file in the
+// target's directory, fsyncs it, and renames it over path — so the path
+// always holds a complete document, whatever happens mid-write. The
+// directory is fsynced after the rename where the platform allows, making
+// the rename itself durable.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync() // best-effort: some filesystems refuse directory fsync
+		d.Close()
+	}
+	return nil
+}
+
+// WriteJSONFile writes the indented JSON report atomically to path.
+func WriteJSONFile(path string, results []Result) error {
+	return WriteFileAtomic(path, func(w io.Writer) error { return WriteJSON(w, results) })
+}
+
+// WriteJSONLFile writes the JSONL report atomically to path.
+func WriteJSONLFile(path string, results []Result) error {
+	return WriteFileAtomic(path, func(w io.Writer) error { return WriteJSONL(w, results) })
+}

@@ -122,9 +122,27 @@ func (e *CorruptBindingError) Error() string {
 
 func (e *CorruptBindingError) Unwrap() error { return e.Err }
 
+// CircuitError reports a request short-circuited by an open circuit
+// breaker: the (machine, instruction) pair has produced Fails consecutive
+// panic/budget faults, so the caller is being served the breaker's cached
+// failure instead of re-running a request that is overwhelmingly likely to
+// burn its whole budget again.
+type CircuitError struct {
+	// Pair is the breaker key, "machine/instruction".
+	Pair string
+	// Fails is the consecutive-fault count that tripped the breaker.
+	Fails int
+	// Last describes the fault that tripped it.
+	Last string
+}
+
+func (e *CircuitError) Error() string {
+	return fmt.Sprintf("fault: circuit open for %s after %d consecutive faults (last: %s)", e.Pair, e.Fails, e.Last)
+}
+
 // Classify maps an error to a small stable label set for metrics and trace
 // attributes: "ok", "path", "panic", "budget", "corrupt-binding",
-// "timeout", "canceled", or "other".
+// "circuit-open", "timeout", "canceled", or "other".
 func Classify(err error) string {
 	if err == nil {
 		return "ok"
@@ -140,6 +158,7 @@ func Classify(err error) string {
 		panicErr   *PanicError
 		budgetErr  *BudgetError
 		bindingErr *CorruptBindingError
+		circuitErr *CircuitError
 	)
 	switch {
 	case errors.As(err, &pathErr):
@@ -150,6 +169,8 @@ func Classify(err error) string {
 		return "budget"
 	case errors.As(err, &bindingErr):
 		return "corrupt-binding"
+	case errors.As(err, &circuitErr):
+		return "circuit-open"
 	}
 	return "other"
 }

@@ -9,12 +9,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"extra/internal/batch"
 	"extra/internal/codegen"
 	"extra/internal/core"
 	"extra/internal/fault"
@@ -26,6 +30,7 @@ import (
 	"extra/internal/machines"
 	"extra/internal/obs"
 	"extra/internal/proofs"
+	"extra/internal/server"
 	"extra/internal/transform"
 )
 
@@ -266,4 +271,96 @@ func TestChaosCorruptBindingFallback(t *testing.T) {
 		t.Error("codegen.fallback[i8086/index] = 0, want >= 1")
 	}
 	checkGoroutines(t, base)
+}
+
+// TestChaosServeFlood floods the analysis service well past its admission
+// capacity: some requests must be shed with 429, every admitted request must
+// get a complete response, and the subsequent drain must return cleanly with
+// no goroutines left behind.
+func TestChaosServeFlood(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	m := obs.NewRegistry()
+	// Hold every worker at a gate so the flood piles up against admission
+	// control instead of racing the (fast) analyses to completion: with 2
+	// workers and a 2-deep queue, exactly 4 of the flood are admitted and
+	// the rest must shed.
+	a := proofs.Movc3PC2()
+	orig := a.Script
+	gate := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(gate) }) }
+	defer unblock()
+	a.Script = func(s *core.Session) error {
+		<-gate
+		return orig(s)
+	}
+	s := server.New(server.Config{Jobs: 2, Queue: 2, Catalog: []*proofs.Analysis{a}, Metrics: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, func(ad net.Addr) { addrc <- ad }) }()
+	addr := (<-addrc).String()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + addr + "/analyze?pair=" + a.Instruction + "/" + a.Operator
+
+	const flood = 24
+	var wg sync.WaitGroup
+	var served, shed, other atomic.Int64
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(url)
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var res batch.Result
+				if json.NewDecoder(resp.Body).Decode(&res) != nil || res.Outcome != "ok" {
+					other.Add(1)
+					return
+				}
+				served.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	// Everything past capacity 4 (2 workers + 2 queued) sheds immediately;
+	// once the rejects are all in, release the gate so the admitted four
+	// finish. Waiting on the shed count (not a sleep) keeps this exact.
+	deadline := time.Now().Add(10 * time.Second)
+	for shed.Load() < flood-4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	unblock()
+	wg.Wait()
+	if other.Load() > 0 {
+		t.Errorf("%d flood requests got neither a served row nor a 429", other.Load())
+	}
+	if served.Load() != 4 {
+		t.Errorf("flood served %d requests, want exactly the 4 admitted", served.Load())
+	}
+	if shed.Load() != flood-4 {
+		t.Errorf("flood shed %d requests, want %d (everything past capacity)", shed.Load(), flood-4)
+	}
+	t.Logf("flood: %d served, %d shed", served.Load(), shed.Load())
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain after flood: %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after the flood")
+	}
+	client.CloseIdleConnections()
+	checkGoroutines(t, baseline)
 }

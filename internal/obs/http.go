@@ -1,0 +1,19 @@
+package obs
+
+import "net/http"
+
+// ServeHTTP serves the registry snapshot as the deterministic indented JSON
+// of WriteJSON — the `extra serve` /metrics endpoint. A nil registry serves
+// an empty snapshot, matching the rest of the package's nil-safety.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := r.WriteJSON(w); err != nil {
+		// Headers are out; all we can do is cut the connection so the
+		// client sees a truncated body rather than a clean EOF.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, herr := hj.Hijack(); herr == nil {
+				conn.Close()
+			}
+		}
+	}
+}

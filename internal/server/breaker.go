@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/fault"
+)
+
+// breaker is the per-(machine, instruction) circuit breaker. Consecutive
+// panic/budget faults trip it open; while open, requests for the pair are
+// served the cached failure instead of burning another worker on an
+// analysis that keeps blowing its budget. After a cooldown one probe
+// request is let through (half-open): success closes the breaker, another
+// fault re-opens it and restarts the cooldown.
+type breaker struct {
+	mu       sync.Mutex
+	fails    int
+	open     bool
+	probing  bool
+	openedAt time.Time
+	cached   batch.Result
+	lastErr  string
+}
+
+// faultOutcome reports whether an outcome label counts toward tripping the
+// breaker. Only engine faults do — a caller-imposed timeout or a canceled
+// request says nothing about the pair itself.
+func faultOutcome(outcome string) bool {
+	return outcome == "panic" || outcome == "budget"
+}
+
+// admit decides the fast path. It returns (cachedFailure, true) when the
+// breaker is open and not due for a probe; otherwise the caller must run
+// the analysis and feed the outcome back through record.
+func (b *breaker) admit(now time.Time, cooldown time.Duration) (batch.Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return batch.Result{}, false
+	}
+	if !b.probing && now.Sub(b.openedAt) >= cooldown {
+		// Half-open: this one request probes the pair; concurrent requests
+		// keep getting the cached failure until the probe reports back.
+		b.probing = true
+		return batch.Result{}, false
+	}
+	res := b.cached
+	ce := &fault.CircuitError{Pair: res.Machine + "/" + res.Instruction, Fails: b.fails, Last: b.lastErr}
+	res.Outcome = fault.Classify(ce)
+	res.Error = ce.Error()
+	res.DurationMS = 0
+	return res, true
+}
+
+// record feeds an executed result back. It returns true when this result
+// tripped the breaker open (for the trip metric).
+func (b *breaker) record(res batch.Result, threshold int, now time.Time) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !faultOutcome(res.Outcome) {
+		b.fails = 0
+		b.open = false
+		return false
+	}
+	b.fails++
+	b.lastErr = res.Error
+	b.cached = res
+	if b.open {
+		// A failed probe: stay open, restart the cooldown.
+		b.openedAt = now
+		return false
+	}
+	if b.fails >= threshold {
+		b.open = true
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// breakerSet is the server's keyed breaker table.
+type breakerSet struct {
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func (s *breakerSet) get(key string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]*breaker{}
+	}
+	b := s.m[key]
+	if b == nil {
+		b = &breaker{}
+		s.m[key] = b
+	}
+	return b
+}

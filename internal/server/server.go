@@ -1,0 +1,521 @@
+// Package server exposes the EXTRA analysis pipeline as a long-running
+// crash-safe HTTP+JSON service:
+//
+//	POST /analyze?pair=INS/OP[&timeout=D]   run one analysis, return its row
+//	POST /batch   {"pairs": [...], ...}     run a catalog subset, return the report
+//	GET  /healthz                           liveness (200 while the process runs)
+//	GET  /readyz                            admission state (503 once draining)
+//	GET  /metrics                           the obs registry as deterministic JSON
+//
+// The service admits at most Jobs concurrent analyses plus Queue waiting
+// requests; past that it sheds load with 429 + Retry-After instead of
+// queueing unboundedly. Every request runs behind the batch runner's fault
+// boundary with its deadline threaded into the engine's cancellation
+// plumbing (interp.RunCtx, AutoComplete). A per-(machine, instruction)
+// circuit breaker trips after repeated panic/budget faults and demotes the
+// pair to a cached-failure fast path until a cooldown probe succeeds.
+// Shutdown is graceful: cancelling the Run context stops admission, drains
+// in-flight work under DrainTimeout, then hard-cancels whatever remains.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/fault"
+	"extra/internal/obs"
+	"extra/internal/proofs"
+)
+
+// Config parameterizes a Server. The zero value serves the full proof
+// catalog on 127.0.0.1:0 with sane defaults.
+type Config struct {
+	// Addr is the listen address; empty means "127.0.0.1:0" (ephemeral).
+	Addr string
+	// Jobs bounds concurrently-running analyses (0 = GOMAXPROCS via the
+	// batch runner).
+	Jobs int
+	// Queue bounds requests waiting for a worker slot beyond Jobs; further
+	// requests are shed with 429. 0 means 16.
+	Queue int
+	// DrainTimeout bounds the graceful-shutdown drain; past it, in-flight
+	// work is hard-cancelled. 0 means 10s.
+	DrainTimeout time.Duration
+	// DrainGrace holds the listener open (readyz 503, work requests 503)
+	// before the drain proper, so load balancers observe the flip. 0 means
+	// no grace.
+	DrainGrace time.Duration
+	// RequestTimeout is the default per-request analysis deadline when the
+	// request carries none. 0 means 1m.
+	RequestTimeout time.Duration
+	// Validate, when positive, differentially validates every served
+	// binding on that many random inputs.
+	Validate int
+	// BreakerThreshold is the consecutive panic/budget fault count that
+	// trips a pair's circuit breaker. 0 means 5; negative disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker serves its cached
+	// failure before letting one probe through. 0 means 30s.
+	BreakerCooldown time.Duration
+	// Catalog is the served analysis set; nil means Table2 + Extensions.
+	Catalog []*proofs.Analysis
+	// OnResult observes every executed analysis row (the serve-side
+	// journaling hook); calls are serialized.
+	OnResult func(batch.Result)
+	// Metrics is the registry behind /metrics and the server.* series; nil
+	// means the process default. Tracer observes analyses (nil-safe).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+func (c *Config) addr() string {
+	if c.Addr == "" {
+		return "127.0.0.1:0"
+	}
+	return c.Addr
+}
+
+func (c *Config) queue() int {
+	if c.Queue == 0 {
+		return 16
+	}
+	return c.Queue
+}
+
+func (c *Config) drainTimeout() time.Duration {
+	if c.DrainTimeout == 0 {
+		return 10 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+func (c *Config) requestTimeout() time.Duration {
+	if c.RequestTimeout == 0 {
+		return time.Minute
+	}
+	return c.RequestTimeout
+}
+
+func (c *Config) breakerThreshold() int {
+	if c.BreakerThreshold == 0 {
+		return 5
+	}
+	return c.BreakerThreshold
+}
+
+func (c *Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown == 0 {
+		return 30 * time.Second
+	}
+	return c.BreakerCooldown
+}
+
+// Server is the analysis service. Create with New, serve with Run.
+type Server struct {
+	cfg      Config
+	catalog  []*proofs.Analysis
+	byPair   map[string]*proofs.Analysis
+	runner   *batch.Runner
+	workers  chan struct{}
+	inSystem atomic.Int64 // requests admitted (waiting + running)
+	draining atomic.Bool
+	breakers breakerSet
+	workCtx  context.Context // cancelled only at the drain deadline
+	workStop context.CancelFunc
+}
+
+// New builds a Server over cfg.
+func New(cfg Config) *Server {
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = append(proofs.Table2(), proofs.Extensions()...)
+	}
+	byPair := make(map[string]*proofs.Analysis, len(catalog))
+	for _, a := range catalog {
+		byPair[a.Instruction+"/"+a.Operator] = a
+	}
+	runner := &batch.Runner{
+		Jobs: 1, Validate: cfg.Validate,
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
+	}
+	s := &Server{cfg: cfg, catalog: catalog, byPair: byPair, runner: runner}
+	s.workers = make(chan struct{}, workerCount(cfg.Jobs))
+	s.workCtx, s.workStop = context.WithCancel(context.Background())
+	return s
+}
+
+func workerCount(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (s *Server) metrics() *obs.Registry {
+	if s.cfg.Metrics != nil {
+		return s.cfg.Metrics
+	}
+	return obs.Default()
+}
+
+// Handler returns the service's HTTP handler with every route wired and
+// each work handler behind its own panic boundary.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", s.metrics())
+	mux.HandleFunc("/analyze", s.guard("analyze", s.handleAnalyze))
+	mux.HandleFunc("/batch", s.guard("batch", s.handleBatch))
+	return mux
+}
+
+// guard wraps a work handler in a fault boundary: a panic out of the
+// handler itself (the analyses already recover their own) becomes a 500
+// JSON error, never a killed connection for everyone else.
+func (s *Server) guard(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		var err error
+		func() {
+			defer fault.RecoverInto(&err, "server."+name)
+			h(w, req)
+		}()
+		if err != nil {
+			s.metrics().Inc("server.handler_panic", name)
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// admit applies admission control: draining refuses, a full queue sheds
+// with 429 + Retry-After, and an admitted request waits (bounded by its own
+// context) for a worker slot. The returned release frees both the slot and
+// the queue position; callers must invoke it exactly once when ok.
+func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func(), ok bool) {
+	m := s.metrics()
+	if s.draining.Load() {
+		m.Inc("server.refused", "draining")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	capacity := int64(cap(s.workers) + s.cfg.queue())
+	if s.inSystem.Add(1) > capacity {
+		s.inSystem.Add(-1)
+		m.Inc("server.shed", req.URL.Path)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		return nil, false
+	}
+	m.Set("server.in_system", "requests", s.inSystem.Load())
+	select {
+	case s.workers <- struct{}{}:
+		return func() {
+			<-s.workers
+			s.inSystem.Add(-1)
+		}, true
+	case <-req.Context().Done():
+		s.inSystem.Add(-1)
+		m.Inc("server.refused", "client-gone")
+		writeError(w, http.StatusServiceUnavailable, "client went away while queued")
+		return nil, false
+	case <-s.workCtx.Done():
+		s.inSystem.Add(-1)
+		m.Inc("server.refused", "draining")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+}
+
+// requestContext derives the analysis context: the client's connection
+// context, cut by the server's hard-stop, bounded by the request's timeout
+// (query/body override, RequestTimeout default).
+func (s *Server) requestContext(req *http.Request, explicit time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(req.Context())
+	stop := context.AfterFunc(s.workCtx, cancel)
+	d := explicit
+	if d <= 0 {
+		d = s.cfg.requestTimeout()
+	}
+	tctx, tcancel := context.WithTimeout(ctx, d)
+	return tctx, func() {
+		tcancel()
+		stop()
+		cancel()
+	}
+}
+
+// parseTimeout reads a `timeout` query parameter (Go duration syntax).
+func parseTimeout(req *http.Request) (time.Duration, error) {
+	v := req.URL.Query().Get("timeout")
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive Go duration)", v)
+	}
+	return d, nil
+}
+
+// statusFor maps a row outcome to the response status: the row itself is
+// always the body, but the status code lets plain HTTP clients and load
+// balancers see failures without parsing.
+func statusFor(outcome string) int {
+	switch outcome {
+	case "ok":
+		return http.StatusOK
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "canceled", "circuit-open":
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// report serializes OnResult fan-out through the runner's own hook
+// machinery so serve-path journaling sees the same contract as batch.
+func (s *Server) report(res batch.Result) {
+	if s.cfg.OnResult == nil {
+		return
+	}
+	s.cfg.OnResult(res)
+}
+
+// runPair executes one analysis through the breaker and the batch fault
+// boundary, recording the outcome on the pair's breaker.
+func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) batch.Result {
+	m := s.metrics()
+	key := a.Machine + "/" + a.Instruction
+	threshold := s.cfg.breakerThreshold()
+	var br *breaker
+	if threshold > 0 {
+		br = s.breakers.get(key)
+		if cached, open := br.admit(time.Now(), s.cfg.breakerCooldown()); open {
+			m.Inc("server.breaker_fastpath", key)
+			return cached
+		}
+	}
+	res := s.runner.RunOne(ctx, a)
+	if br != nil {
+		if br.record(res, threshold, time.Now()) {
+			m.Inc("server.breaker_trip", key)
+		}
+	}
+	s.report(res)
+	return res
+}
+
+// handleAnalyze runs one analysis: ?pair=INSTRUCTION/OPERATOR, optional
+// ?timeout=D. The response body is the analysis row (batch.Result JSON);
+// the status code reflects its outcome.
+func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
+	m := s.metrics()
+	m.Inc("server.requests", "/analyze")
+	if req.Method != http.MethodPost && req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	pair := req.URL.Query().Get("pair")
+	if pair == "" {
+		writeError(w, http.StatusBadRequest, "missing pair parameter (INSTRUCTION/OPERATOR, e.g. scasb/index)")
+		return
+	}
+	a, ok := s.byPair[pair]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no analysis %q in the catalog", pair))
+		return
+	}
+	d, err := parseTimeout(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := s.admit(w, req)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(req, d)
+	defer cancel()
+	res := s.runPair(ctx, a)
+	m.Inc("server.outcome", res.Outcome)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if res.Outcome == "circuit-open" {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.breakerCooldown()/time.Second)+1))
+	}
+	w.WriteHeader(statusFor(res.Outcome))
+	json.NewEncoder(w).Encode(&res)
+}
+
+// batchRequest is the POST /batch body. Every field is optional: the zero
+// request runs the full catalog with the server's defaults.
+type batchRequest struct {
+	// Pairs selects catalog rows ("INSTRUCTION/OPERATOR"); empty means all.
+	Pairs []string `json:"pairs,omitempty"`
+	// Validate overrides the server's per-binding validation input count.
+	Validate int `json:"validate,omitempty"`
+	// Timeout bounds each analysis (Go duration string).
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// handleBatch runs a catalog subset through the concurrent batch runner and
+// returns the full JSON report (rows + summary). The request occupies one
+// admission slot; within it the batch multiplexes the configured job count.
+// Open circuit breakers contribute their cached failures through the
+// runner's Completed fast path instead of re-running.
+func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	m := s.metrics()
+	m.Inc("server.requests", "/batch")
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var breq batchRequest
+	if err := json.NewDecoder(req.Body).Decode(&breq); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	analyses := s.catalog
+	if len(breq.Pairs) > 0 {
+		analyses = make([]*proofs.Analysis, 0, len(breq.Pairs))
+		for _, p := range breq.Pairs {
+			a, ok := s.byPair[p]
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("no analysis %q in the catalog", p))
+				return
+			}
+			analyses = append(analyses, a)
+		}
+	}
+	var each time.Duration
+	if breq.Timeout != "" {
+		d, err := time.ParseDuration(breq.Timeout)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout (want a positive Go duration)")
+			return
+		}
+		each = d
+	}
+	release, ok := s.admit(w, req)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(req, 0)
+	defer cancel()
+
+	validate := s.cfg.Validate
+	if breq.Validate > 0 {
+		validate = breq.Validate
+	}
+	threshold := s.cfg.breakerThreshold()
+	completed := map[string]batch.Result{}
+	if threshold > 0 {
+		now := time.Now()
+		for _, a := range analyses {
+			br := s.breakers.get(a.Machine + "/" + a.Instruction)
+			if cached, open := br.admit(now, s.cfg.breakerCooldown()); open {
+				m.Inc("server.breaker_fastpath", a.Machine+"/"+a.Instruction)
+				completed[batch.AnalysisKey(a)] = cached
+			}
+		}
+	}
+	r := &batch.Runner{
+		Jobs: cap(s.workers), Validate: validate, EachTimeout: each,
+		Completed: completed,
+		Tracer:    s.cfg.Tracer, Metrics: s.cfg.Metrics,
+		OnResult: func(res batch.Result) {
+			if threshold > 0 {
+				key := res.Machine + "/" + res.Instruction
+				if s.breakers.get(key).record(res, threshold, time.Now()) {
+					m.Inc("server.breaker_trip", key)
+				}
+			}
+			s.report(res)
+		},
+	}
+	results := r.Run(ctx, analyses)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	batch.WriteJSON(w, results)
+}
+
+// Run listens on cfg.Addr, reports the bound address through ready (which
+// may be nil), serves until ctx is cancelled, then shuts down gracefully:
+// stop admitting, hold DrainGrace so health checks observe the flip, drain
+// in-flight requests under DrainTimeout, and hard-cancel whatever remains.
+// A clean drain returns nil.
+func (s *Server) Run(ctx context.Context, ready func(net.Addr)) error {
+	lis, err := net.Listen("tcp", s.cfg.addr())
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	m := s.metrics()
+	m.Set("server.up", "listening", 1)
+	if ready != nil {
+		ready(lis.Addr())
+	}
+	select {
+	case err := <-errc:
+		s.workStop()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: flip readiness first so new work is refused while
+	// the listener still answers health checks, then drain.
+	s.draining.Store(true)
+	m.Set("server.up", "listening", 0)
+	if g := s.cfg.DrainGrace; g > 0 {
+		time.Sleep(g)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	err = hs.Shutdown(dctx)
+	if err != nil {
+		// Drain deadline passed: hard-cancel in-flight analyses so their
+		// handlers return, then close whatever connections remain.
+		s.workStop()
+		hs.Close()
+		<-errc
+		m.Inc("server.drain", "forced")
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	s.workStop()
+	<-errc // Serve has returned http.ErrServerClosed
+	m.Inc("server.drain", "clean")
+	return nil
+}
