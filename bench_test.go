@@ -10,10 +10,12 @@ package extra
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"extra/internal/batch"
+	"extra/internal/cache"
 	"extra/internal/catalog"
 	"extra/internal/codegen"
 	"extra/internal/core"
@@ -21,6 +23,7 @@ import (
 	"extra/internal/isps"
 	"extra/internal/obs"
 	"extra/internal/proofs"
+	"extra/internal/server"
 	"extra/internal/transform"
 )
 
@@ -147,6 +150,47 @@ func BenchmarkBatchAnalyzer(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCacheWarmVsCold measures the analysis service's content-addressed
+// cache: the same /analyze request served cold (a full engine run each
+// iteration, no cache configured) versus warm (a memory hit served before
+// admission). The warm/cold ns/op ratio is the number BENCH_PR5.json tracks;
+// the acceptance bar for the cache is a >=10x warm win.
+func BenchmarkCacheWarmVsCold(b *testing.B) {
+	const target = "/analyze?pair=scasb/index"
+	serve := func(b *testing.B, s *server.Server) {
+		b.Helper()
+		h := s.Handler()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+		if w.Code != 200 {
+			b.Fatalf("prime request: status %d: %s", w.Code, w.Body)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+			if w.Code != 200 {
+				b.Fatalf("status %d: %s", w.Code, w.Body)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		serve(b, server.New(server.Config{Metrics: obs.NewRegistry()}))
+	})
+	b.Run("warm", func(b *testing.B) {
+		m := obs.NewRegistry()
+		c, err := cache.New(cache.Config{Metrics: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serve(b, server.New(server.Config{Metrics: m, Cache: c}))
+		if m.Counter("cache.hit", "mem") < uint64(b.N) {
+			b.Fatalf("warm loop was not served from the cache (%d hits, %d iterations)",
+				m.Counter("cache.hit", "mem"), b.N)
+		}
+	})
 }
 
 // BenchmarkTable2Validation measures the differential validation of the

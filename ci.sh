@@ -26,6 +26,12 @@ go test -run '^FuzzBindingJSON$' -fuzz '^FuzzBindingJSON$' -fuzztime 10s ./inter
 go test -run '^$' -bench 'BenchmarkTable2$|BenchmarkAutoSearchLadder' -benchmem -benchtime 10x -count 1 . | go run ./cmd/benchjson -o BENCH_PR3.json
 test -s BENCH_PR3.json
 
+# PR 5 bench: the same /analyze request served cold (full engine run) versus
+# warm (content-addressed cache hit). The warm row must be at least 10x
+# faster; BENCH_PR5.json carries the reviewed numbers.
+go test -run '^$' -bench 'BenchmarkCacheWarmVsCold' -benchmem -benchtime 20x -count 1 . | go run ./cmd/benchjson -o BENCH_PR5.json
+test -s BENCH_PR5.json
+
 # Serve smoke: boot the real binary, run one analysis over HTTP, scrape
 # /metrics, then SIGTERM it and require a clean (exit 0) graceful drain.
 go build -o /tmp/extra_ci ./cmd/extra
@@ -46,6 +52,23 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q 'drained:' "$SERVE_LOG"
 rm -f "$SERVE_LOG"
+
+# Cache stage: a cold batch run populates the content-addressed result
+# cache; a second run over the same directory must be served >=90% from it
+# (here: fully) and must produce a byte-identical report modulo durations.
+CACHE_DIR=$(mktemp -d)
+/tmp/extra_ci batch -jobs 2 -validate 50 -cache-dir "$CACHE_DIR/store" -json "$CACHE_DIR/cold.json" 2>"$CACHE_DIR/cold.err"
+/tmp/extra_ci batch -jobs 2 -validate 50 -cache-dir "$CACHE_DIR/store" -json "$CACHE_DIR/warm.json" 2>"$CACHE_DIR/warm.err"
+cat "$CACHE_DIR/warm.err"
+HITS=$(sed -n 's/^cache: \([0-9][0-9]*\) hits.*/\1/p' "$CACHE_DIR/warm.err")
+MISSES=$(sed -n 's/^cache: .* \([0-9][0-9]*\) misses$/\1/p' "$CACHE_DIR/warm.err")
+test -n "$HITS"
+test -n "$MISSES"
+test "$((HITS * 10))" -ge "$(((HITS + MISSES) * 9))"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/' "$CACHE_DIR/cold.json" > "$CACHE_DIR/cold.norm"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/' "$CACHE_DIR/warm.json" > "$CACHE_DIR/warm.norm"
+diff "$CACHE_DIR/cold.norm" "$CACHE_DIR/warm.norm"
+rm -rf "$CACHE_DIR"
 
 # Checkpoint-resume stage: kill -9 a journaling batch run mid-flight, resume
 # it, and require the final report byte-identical (modulo durations) to an

@@ -72,6 +72,11 @@ type Runner struct {
 	// completion order (the journaling hook). Calls are serialized by the
 	// Runner; OnResult itself need not be concurrency-safe.
 	OnResult func(Result)
+	// OnBound observes each freshly-executed row together with its finished
+	// binding — nil unless the row ended "ok". This is the caching hook: the
+	// binding is the compiler-interface document a warm consumer wants
+	// without re-running the engine. Calls are serialized with OnResult.
+	OnBound func(Result, *core.Binding)
 	// Tracer observes every analysis (nil-safe). Metrics counts outcomes
 	// under batch.outcome and durations under batch.duration_ms; nil means
 	// the process default registry.
@@ -175,12 +180,17 @@ func (r *Runner) runIndices(ctx context.Context, cfg *Runner, analyses []*proofs
 					return
 				}
 				i := idxs[n]
-				res := cfg.RunOne(ctx, analyses[i])
+				res, bound := cfg.RunOneBound(ctx, analyses[i])
 				results[i] = res
 				m.Inc("batch.outcome", res.Outcome)
-				if r.OnResult != nil {
+				if r.OnResult != nil || r.OnBound != nil {
 					reportMu.Lock()
-					r.OnResult(res)
+					if r.OnResult != nil {
+						r.OnResult(res)
+					}
+					if r.OnBound != nil {
+						r.OnBound(res, bound)
+					}
 					reportMu.Unlock()
 				}
 			}
@@ -194,11 +204,20 @@ func (r *Runner) runIndices(ctx context.Context, cfg *Runner, analyses []*proofs
 // the row, never a crashed process. The analysis server serves /analyze
 // through exactly this boundary.
 func (r *Runner) RunOne(ctx context.Context, a *proofs.Analysis) Result {
+	res, _ := r.RunOneBound(ctx, a)
+	return res
+}
+
+// RunOneBound is RunOne, additionally returning the finished binding when
+// the analysis ended "ok" (nil otherwise) — for callers that persist the
+// result, like the analysis cache, the binding IS the product worth keeping.
+func (r *Runner) RunOneBound(ctx context.Context, a *proofs.Analysis) (Result, *core.Binding) {
 	res := Result{
 		Machine: a.Machine, Instruction: a.Instruction,
 		Language: a.Language, Operation: a.Operation,
 		Operator: a.Operator, Extended: a.Extended,
 	}
+	var bound *core.Binding
 	start := time.Now()
 	err := func() (err error) {
 		defer fault.RecoverInto(&err, "batch."+a.Instruction+"/"+a.Operator)
@@ -220,6 +239,7 @@ func (r *Runner) RunOne(ctx context.Context, a *proofs.Analysis) Result {
 			}
 			res.Validated = n
 		}
+		bound = b
 		return nil
 	}()
 	res.DurationMS = time.Since(start).Milliseconds()
@@ -227,8 +247,9 @@ func (r *Runner) RunOne(ctx context.Context, a *proofs.Analysis) Result {
 	res.Outcome = fault.Classify(err)
 	if err != nil {
 		res.Error = err.Error()
+		bound = nil
 	}
-	return res
+	return res, bound
 }
 
 // Summary aggregates a result set: rows per outcome label.

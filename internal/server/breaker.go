@@ -6,14 +6,17 @@ import (
 
 	"extra/internal/batch"
 	"extra/internal/fault"
+	"extra/internal/obs"
 )
 
 // breaker is the per-(machine, instruction) circuit breaker. Consecutive
 // panic/budget faults trip it open; while open, requests for the pair are
 // served the cached failure instead of burning another worker on an
 // analysis that keeps blowing its budget. After a cooldown one probe
-// request is let through (half-open): success closes the breaker, another
-// fault re-opens it and restarts the cooldown.
+// request is let through (half-open): a genuine success closes the breaker;
+// another fault re-opens it and restarts the cooldown; any other outcome
+// (the caller canceled, the request timed out) says nothing about the pair,
+// so it merely re-arms the next probe without touching the breaker's state.
 type breaker struct {
 	mu       sync.Mutex
 	fails    int
@@ -60,9 +63,17 @@ func (b *breaker) record(res batch.Result, threshold int, now time.Time) (trippe
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.probing = false
-	if !faultOutcome(res.Outcome) {
+	if res.Outcome == "ok" {
+		// Only a demonstrated success closes: the pair provably works again.
 		b.fails = 0
 		b.open = false
+		return false
+	}
+	if !faultOutcome(res.Outcome) {
+		// A canceled request or a caller-imposed timeout proves nothing
+		// either way (see faultOutcome): leave the fail streak and the open
+		// state alone. probing is already cleared, so an open breaker's next
+		// request past the cooldown fires a fresh probe.
 		return false
 	}
 	b.fails++
@@ -81,22 +92,133 @@ func (b *breaker) record(res batch.Result, threshold int, now time.Time) (trippe
 	return false
 }
 
-// breakerSet is the server's keyed breaker table.
-type breakerSet struct {
-	mu sync.Mutex
-	m  map[string]*breaker
+// idle reports whether the breaker is safe to forget: closed, with no probe
+// outstanding. Evicting an idle breaker only loses a partial fail streak.
+func (b *breaker) idle() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open && !b.probing
 }
 
+// defaultBreakerMax bounds the breaker table when the config does not: far
+// above any real catalog, far below a memory problem.
+const defaultBreakerMax = 1024
+
+// breakerSet is the server's keyed breaker table, bounded so arbitrary
+// request keys cannot grow it without limit: past max entries the
+// least-recently-used closed, idle breaker is evicted first; if every
+// breaker is open (pathological), the least-recently-used one goes anyway —
+// a bounded table outranks remembering one more failure streak. Evictions
+// are counted under server.breaker_evict{idle,open}.
+type breakerSet struct {
+	mu      sync.Mutex
+	max     int           // capacity; 0 means defaultBreakerMax
+	metrics *obs.Registry // eviction counters; nil-safe
+	m       map[string]*setEntry
+	head    *setEntry // most recently used
+	tail    *setEntry // least recently used
+}
+
+// setEntry is one breaker on the set's intrusive LRU list.
+type setEntry struct {
+	key        string
+	b          *breaker
+	prev, next *setEntry
+}
+
+func (s *breakerSet) cap() int {
+	if s.max > 0 {
+		return s.max
+	}
+	return defaultBreakerMax
+}
+
+// get returns the key's breaker, creating (and, past capacity, evicting) as
+// needed. Every lookup refreshes the breaker's LRU position.
 func (s *breakerSet) get(key string) *breaker {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.m == nil {
-		s.m = map[string]*breaker{}
+		s.m = map[string]*setEntry{}
 	}
-	b := s.m[key]
-	if b == nil {
-		b = &breaker{}
-		s.m[key] = b
+	if e := s.m[key]; e != nil {
+		s.moveToFront(e)
+		return e.b
 	}
-	return b
+	e := &setEntry{key: key, b: &breaker{}}
+	s.m[key] = e
+	s.pushFront(e)
+	for len(s.m) > s.cap() {
+		s.evict()
+	}
+	return e.b
+}
+
+// evict removes one breaker: the least-recently-used idle one, or — when
+// none is idle — the least-recently-used outright. The head is never a
+// victim: it is the entry whose insertion triggered this eviction, and
+// discarding newcomers would pin open breakers in the table forever. The
+// set mutex must be held; breaker mutexes are taken briefly underneath it
+// (never the other way around, so the lock order is acyclic).
+func (s *breakerSet) evict() {
+	var victim *setEntry
+	for e := s.tail; e != nil && e != s.head; e = e.prev {
+		if e.b.idle() {
+			victim = e
+			break
+		}
+	}
+	label := "idle"
+	if victim == nil {
+		victim = s.tail
+		label = "open"
+	}
+	if victim == nil {
+		return
+	}
+	s.remove(victim)
+	delete(s.m, victim.key)
+	s.metrics.Inc("server.breaker_evict", label)
+}
+
+// len reports the number of tracked breakers.
+func (s *breakerSet) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Intrusive LRU plumbing; the set mutex guards all of it.
+
+func (s *breakerSet) pushFront(e *setEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *breakerSet) remove(e *setEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *breakerSet) moveToFront(e *setEntry) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
 }

@@ -8,14 +8,18 @@
 //	GET  /metrics                           the obs registry as deterministic JSON
 //
 // The service admits at most Jobs concurrent analyses plus Queue waiting
-// requests; past that it sheds load with 429 + Retry-After instead of
-// queueing unboundedly. Every request runs behind the batch runner's fault
-// boundary with its deadline threaded into the engine's cancellation
-// plumbing (interp.RunCtx, AutoComplete). A per-(machine, instruction)
-// circuit breaker trips after repeated panic/budget faults and demotes the
-// pair to a cached-failure fast path until a cooldown probe succeeds.
-// Shutdown is graceful: cancelling the Run context stops admission, drains
-// in-flight work under DrainTimeout, then hard-cancels whatever remains.
+// requests; past that it sheds load with 429 + Retry-After derived from the
+// backlog and a moving average of observed service time, instead of queueing
+// unboundedly. A content-addressed result cache (internal/cache) is
+// consulted *before* admission: a warm hit — or a request coalesced onto an
+// identical in-flight one — is served without ever occupying a worker slot.
+// Every cold request runs behind the batch runner's fault boundary with its
+// deadline threaded into the engine's cancellation plumbing (interp.RunCtx,
+// AutoComplete). A per-(machine, instruction) circuit breaker trips after
+// repeated panic/budget faults and demotes the pair to a cached-failure fast
+// path until a cooldown probe genuinely succeeds. Shutdown is graceful:
+// cancelling the Run context stops admission, drains in-flight work under
+// DrainTimeout, then hard-cancels whatever remains.
 package server
 
 import (
@@ -32,6 +36,8 @@ import (
 	"time"
 
 	"extra/internal/batch"
+	"extra/internal/cache"
+	"extra/internal/core"
 	"extra/internal/fault"
 	"extra/internal/obs"
 	"extra/internal/proofs"
@@ -67,6 +73,15 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker serves its cached
 	// failure before letting one probe through. 0 means 30s.
 	BreakerCooldown time.Duration
+	// BreakerMax bounds the breaker table: past it, least-recently-used
+	// closed idle breakers are evicted (server.breaker_evict), so arbitrary
+	// request keys cannot grow the table without limit. 0 means 1024.
+	BreakerMax int
+	// Cache, when non-nil, serves warm analysis rows content-addressed by
+	// the (operator, instruction) description digest — consulted before
+	// admission, so warm hits and coalesced duplicates never occupy a
+	// worker slot. nil disables caching.
+	Cache *cache.Cache
 	// Catalog is the served analysis set; nil means Table2 + Extensions.
 	Catalog []*proofs.Analysis
 	// OnResult observes every executed analysis row (the serve-side
@@ -130,8 +145,11 @@ type Server struct {
 	inSystem atomic.Int64 // requests admitted (waiting + running)
 	draining atomic.Bool
 	breakers breakerSet
-	workCtx  context.Context // cancelled only at the drain deadline
-	workStop context.CancelFunc
+	// avgServiceNS is an exponentially-weighted moving average of observed
+	// analysis service times, feeding the Retry-After estimate on shed.
+	avgServiceNS atomic.Int64
+	workCtx      context.Context // cancelled only at the drain deadline
+	workStop     context.CancelFunc
 }
 
 // New builds a Server over cfg.
@@ -150,6 +168,8 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg, catalog: catalog, byPair: byPair, runner: runner}
 	s.workers = make(chan struct{}, workerCount(cfg.Jobs))
+	s.breakers.max = cfg.BreakerMax
+	s.breakers.metrics = s.metrics()
 	s.workCtx, s.workStop = context.WithCancel(context.Background())
 	return s
 }
@@ -233,7 +253,7 @@ func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func()
 	if s.inSystem.Add(1) > capacity {
 		s.inSystem.Add(-1)
 		m.Inc("server.shed", req.URL.Path)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "admission queue full")
 		return nil, false
 	}
@@ -255,6 +275,47 @@ func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func()
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return nil, false
 	}
+}
+
+// observeService folds one analysis duration into the moving average
+// (EWMA, α = 1/8) behind the Retry-After estimate. Lock-free: concurrent
+// updates race only on which observation lands last, never on corruption.
+func (s *Server) observeService(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.avgServiceNS.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.avgServiceNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the
+// queue backlog times the moving average of observed service time, floored
+// at one second (the static pre-estimate before anything has run) and
+// capped at ten minutes so one pathological observation cannot tell clients
+// to go away for hours.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.avgServiceNS.Load())
+	queued := s.inSystem.Load() - int64(cap(s.workers))
+	if queued < 0 {
+		queued = 0
+	}
+	est := time.Duration(queued) * avg
+	if est < time.Second {
+		return 1
+	}
+	if est > 10*time.Minute {
+		est = 10 * time.Minute
+	}
+	// Round up: "come back in 1s" for a 1.4s backlog under-promises.
+	return int((est + time.Second - 1) / time.Second)
 }
 
 // requestContext derives the analysis context: the client's connection
@@ -314,8 +375,10 @@ func (s *Server) report(res batch.Result) {
 }
 
 // runPair executes one analysis through the breaker and the batch fault
-// boundary, recording the outcome on the pair's breaker.
-func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) batch.Result {
+// boundary, recording the outcome on the pair's breaker and the service-time
+// average. The binding comes back alongside the row (nil unless "ok") so
+// the caller can cache the full analysis product.
+func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) (batch.Result, *core.Binding) {
 	m := s.metrics()
 	key := a.Machine + "/" + a.Instruction
 	threshold := s.cfg.breakerThreshold()
@@ -324,22 +387,37 @@ func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) batch.Result {
 		br = s.breakers.get(key)
 		if cached, open := br.admit(time.Now(), s.cfg.breakerCooldown()); open {
 			m.Inc("server.breaker_fastpath", key)
-			return cached
+			return cached, nil
 		}
 	}
-	res := s.runner.RunOne(ctx, a)
+	start := time.Now()
+	res, bound := s.runner.RunOneBound(ctx, a)
+	s.observeService(time.Since(start))
 	if br != nil {
 		if br.record(res, threshold, time.Now()) {
 			m.Inc("server.breaker_trip", key)
 		}
 	}
 	s.report(res)
-	return res
+	return res, bound
+}
+
+// writeResult serializes one analysis row with its outcome-derived status.
+func (s *Server) writeResult(w http.ResponseWriter, res batch.Result) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if res.Outcome == "circuit-open" {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.breakerCooldown()/time.Second)+1))
+	}
+	w.WriteHeader(statusFor(res.Outcome))
+	json.NewEncoder(w).Encode(&res)
 }
 
 // handleAnalyze runs one analysis: ?pair=INSTRUCTION/OPERATOR, optional
 // ?timeout=D. The response body is the analysis row (batch.Result JSON);
-// the status code reflects its outcome.
+// the status code reflects its outcome. With a cache configured, the row is
+// looked up content-addressed *before* admission — a warm hit is served
+// immediately without occupying a worker slot, and concurrent identical
+// cold requests coalesce into one engine run.
 func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 	m := s.metrics()
 	m.Inc("server.requests", "/analyze")
@@ -362,21 +440,70 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	release, ok := s.admit(w, req)
+	runCold := func() (batch.Result, bool) {
+		release, ok := s.admit(w, req)
+		if !ok {
+			return batch.Result{}, false
+		}
+		defer release()
+		ctx, cancel := s.requestContext(req, d)
+		defer cancel()
+		res, _ := s.runPair(ctx, a)
+		return res, true
+	}
+	if s.cfg.Cache != nil {
+		if key, cacheable := cache.KeyFor(a, s.cfg.Validate); cacheable {
+			s.analyzeCached(w, req, a, key, d)
+			return
+		}
+	}
+	res, ok := runCold()
 	if !ok {
-		return
+		return // admission already answered
 	}
-	defer release()
-	ctx, cancel := s.requestContext(req, d)
-	defer cancel()
-	res := s.runPair(ctx, a)
 	m.Inc("server.outcome", res.Outcome)
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if res.Outcome == "circuit-open" {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.breakerCooldown()/time.Second)+1))
+	s.writeResult(w, res)
+}
+
+// analyzeCached is the cache-fronted /analyze path: a warm hit or a
+// coalesced duplicate is served without admission; only the coalescing
+// leader pays for admission and the engine run.
+func (s *Server) analyzeCached(w http.ResponseWriter, req *http.Request, a *proofs.Analysis, key cache.Key, d time.Duration) {
+	m := s.metrics()
+	ent, shared, err := s.cfg.Cache.Do(req.Context(), key, func() (cache.Entry, bool) {
+		release, ok := s.admit(w, req)
+		if !ok {
+			return cache.Entry{}, false
+		}
+		defer release()
+		ctx, cancel := s.requestContext(req, d)
+		defer cancel()
+		res, bound := s.runPair(ctx, a)
+		e := cache.Entry{Result: res}
+		if bound != nil {
+			if raw, merr := json.Marshal(bound); merr == nil {
+				e.Binding = raw
+			}
+		}
+		return e, true
+	})
+	switch {
+	case err == nil:
+		m.Inc("server.outcome", ent.Result.Outcome)
+		s.writeResult(w, ent.Result)
+	case errors.Is(err, cache.ErrNoResult) && !shared:
+		// This request was the leader and admission already wrote its 429/503.
+	case errors.Is(err, cache.ErrNoResult):
+		// Coalesced onto a leader that was shed: shed this request too.
+		m.Inc("server.shed", req.URL.Path)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+	default:
+		// The client went away (or the drain hard-stopped) while waiting on
+		// another request's run.
+		m.Inc("server.refused", "client-gone")
+		writeError(w, http.StatusServiceUnavailable, "client went away while coalesced")
 	}
-	w.WriteHeader(statusFor(res.Outcome))
-	json.NewEncoder(w).Encode(&res)
 }
 
 // batchRequest is the POST /batch body. Every field is optional: the zero
@@ -428,23 +555,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 		each = d
 	}
-	release, ok := s.admit(w, req)
-	if !ok {
-		return
-	}
-	defer release()
-	ctx, cancel := s.requestContext(req, 0)
-	defer cancel()
-
 	validate := s.cfg.Validate
 	if breq.Validate > 0 {
 		validate = breq.Validate
 	}
+
+	// Warm rows are collected before admission: cache hits (and open
+	// breakers' cached failures) become the runner's Completed skip set, and
+	// a fully-warm batch is served without occupying a worker slot at all.
 	threshold := s.cfg.breakerThreshold()
 	completed := map[string]batch.Result{}
+	keys := map[string]cache.Key{}
+	if s.cfg.Cache != nil {
+		for _, a := range analyses {
+			k, cacheable := cache.KeyFor(a, validate)
+			if !cacheable {
+				continue
+			}
+			keys[batch.AnalysisKey(a)] = k
+			if ent, hit := s.cfg.Cache.Get(k); hit {
+				completed[batch.AnalysisKey(a)] = ent.Result
+			}
+		}
+	}
 	if threshold > 0 {
 		now := time.Now()
 		for _, a := range analyses {
+			if _, warm := completed[batch.AnalysisKey(a)]; warm {
+				continue // a content-addressed success outranks a cached failure
+			}
 			br := s.breakers.get(a.Machine + "/" + a.Instruction)
 			if cached, open := br.admit(now, s.cfg.breakerCooldown()); open {
 				m.Inc("server.breaker_fastpath", a.Machine+"/"+a.Instruction)
@@ -465,10 +604,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			}
 			s.report(res)
 		},
+		OnBound: func(res batch.Result, bound *core.Binding) {
+			k, cacheable := keys[res.Key()]
+			if !cacheable || s.cfg.Cache == nil {
+				return
+			}
+			e := cache.Entry{Result: res}
+			if bound != nil {
+				if raw, merr := json.Marshal(bound); merr == nil {
+					e.Binding = raw
+				}
+			}
+			s.cfg.Cache.Put(k, e)
+		},
 	}
+	writeReport := func(results []batch.Result) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		batch.WriteJSON(w, results)
+	}
+	if len(completed) == len(analyses) {
+		// Every row is warm: serve the report straight from the skip set.
+		writeReport(r.Run(req.Context(), analyses))
+		return
+	}
+	release, ok := s.admit(w, req)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestContext(req, 0)
+	defer cancel()
+	start := time.Now()
 	results := r.Run(ctx, analyses)
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	batch.WriteJSON(w, results)
+	if executed := len(analyses) - len(completed); executed > 0 {
+		// Fold the per-analysis average into the shed estimate.
+		s.observeService(time.Since(start) / time.Duration(executed))
+	}
+	writeReport(results)
 }
 
 // Run listens on cfg.Addr, reports the bound address through ready (which

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -210,8 +211,9 @@ func TestAdmissionShedding(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third concurrent request: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 response lacks a Retry-After header")
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After %q is not a positive integer (derived estimate, floor 1s)",
+			resp.Header.Get("Retry-After"))
 	}
 	if m.Counter("server.shed", "/analyze") == 0 {
 		t.Error("shed request not counted in server.shed")
