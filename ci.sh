@@ -33,7 +33,9 @@ go test -run '^$' -bench 'BenchmarkCacheWarmVsCold' -benchmem -benchtime 20x -co
 test -s BENCH_PR5.json
 
 # Serve smoke: boot the real binary, run one analysis over HTTP, scrape
-# /metrics, then SIGTERM it and require a clean (exit 0) graceful drain.
+# /metrics in both encodings (JSON default, Prometheus text exposition via
+# content negotiation), check the response is trace-stamped, then SIGTERM
+# and require a clean (exit 0) graceful drain.
 go build -o /tmp/extra_ci ./cmd/extra
 SERVE_LOG=$(mktemp)
 /tmp/extra_ci serve -addr 127.0.0.1:0 >"$SERVE_LOG" &
@@ -45,13 +47,35 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 test -n "$ADDR"
-curl -fsS -X POST "http://$ADDR/analyze?pair=scasb/index" | grep -q '"outcome": *"ok"'
+curl -fsSi -X POST "http://$ADDR/analyze?pair=scasb/index" | tee /tmp/extra_ci_analyze | grep -q '"outcome": *"ok"'
+grep -qi '^X-Trace-Id: ' /tmp/extra_ci_analyze
 curl -fsS "http://$ADDR/metrics" | grep -q '"server.requests"'
+PROM=$(mktemp)
+curl -fsS "http://$ADDR/metrics?format=prom" >"$PROM"
+grep -q '^# TYPE server_requests counter' "$PROM"
+grep -q '^server_latency_ns{label="/analyze",quantile="0.99"}' "$PROM"
+grep -q '^runtime_goroutines' "$PROM"
+rm -f "$PROM" /tmp/extra_ci_analyze
 curl -fsS "http://$ADDR/readyz" | grep -q ready
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q 'drained:' "$SERVE_LOG"
 rm -f "$SERVE_LOG"
+
+# Loadgen SLO stage: the real binary drives itself with a fixed-seed warm-
+# heavy request mix and gates on the latency SLO — zero 5xx responses and
+# warm-hit p99 strictly below cold-miss p50 (the cache must actually be
+# cheaper than the engine). Serial (-concurrency 1): this is an unloaded
+# latency probe, not a saturation test — on a small CI box extra workers
+# only measure CPU starvation behind the validation runs, not the service.
+# The bucketed percentiles land in BENCH_PR6.json for review, via the same
+# benchjson pipeline as the perf stages.
+/tmp/extra_ci loadgen -requests 300 -duration 60s -concurrency 1 \
+  -warm-frac 0.8 -seed 1 -validate 2000 -bench \
+  -slo-max-5xx 0 -slo-warm-p99-lt-cold-p50 \
+  | go run ./cmd/benchjson -o BENCH_PR6.json
+test -s BENCH_PR6.json
+grep -q 'ServeWarm' BENCH_PR6.json
 
 # Cache stage: a cold batch run populates the content-addressed result
 # cache; a second run over the same directory must be served >=90% from it
@@ -65,8 +89,9 @@ MISSES=$(sed -n 's/^cache: .* \([0-9][0-9]*\) misses$/\1/p' "$CACHE_DIR/warm.err
 test -n "$HITS"
 test -n "$MISSES"
 test "$((HITS * 10))" -ge "$(((HITS + MISSES) * 9))"
-sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/' "$CACHE_DIR/cold.json" > "$CACHE_DIR/cold.norm"
-sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/' "$CACHE_DIR/warm.json" > "$CACHE_DIR/warm.norm"
+# Durations and the per-run trace ID are the only legitimate deltas.
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$CACHE_DIR/cold.json" > "$CACHE_DIR/cold.norm"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$CACHE_DIR/warm.json" > "$CACHE_DIR/warm.norm"
 diff "$CACHE_DIR/cold.norm" "$CACHE_DIR/warm.norm"
 rm -rf "$CACHE_DIR"
 
@@ -86,7 +111,7 @@ wait "$BATCH_PID" || true
 PARTIAL=$(grep -c . "$CKPT_DIR/journal.jsonl")
 test "$PARTIAL" -ge 3
 /tmp/extra_ci batch -jobs 2 -validate 2000 -jsonl "$CKPT_DIR/journal.jsonl" -resume "$CKPT_DIR/journal.jsonl"
-sed 's/"duration_ms":[0-9]*/"duration_ms":0/' "$CKPT_DIR/ref.jsonl" > "$CKPT_DIR/ref.norm"
-sed 's/"duration_ms":[0-9]*/"duration_ms":0/' "$CKPT_DIR/journal.jsonl" > "$CKPT_DIR/journal.norm"
+sed 's/"duration_ms":[0-9]*/"duration_ms":0/; s/"trace":"[^"]*"/"trace":""/' "$CKPT_DIR/ref.jsonl" > "$CKPT_DIR/ref.norm"
+sed 's/"duration_ms":[0-9]*/"duration_ms":0/; s/"trace":"[^"]*"/"trace":""/' "$CKPT_DIR/journal.jsonl" > "$CKPT_DIR/journal.norm"
 diff "$CKPT_DIR/ref.norm" "$CKPT_DIR/journal.norm"
 rm -rf "$CKPT_DIR" /tmp/extra_ci

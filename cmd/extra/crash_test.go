@@ -100,8 +100,9 @@ func waitForJournal(p *helperProc, path string, n int, deadline time.Duration) b
 	return false
 }
 
-// normalizeReport re-encodes a JSONL report with durations zeroed, so two
-// runs of the same catalog compare byte-identical modulo timing.
+// normalizeReport re-encodes a JSONL report with durations and per-run
+// trace IDs zeroed, so two runs of the same catalog compare byte-identical
+// modulo timing and run identity.
 func normalizeReport(t *testing.T, path string) string {
 	t.Helper()
 	rows, err := batch.ReadJournal(path)
@@ -111,6 +112,7 @@ func normalizeReport(t *testing.T, path string) string {
 	var sb strings.Builder
 	for i := range rows {
 		rows[i].DurationMS = 0
+		rows[i].Trace = ""
 		line, err := json.Marshal(&rows[i])
 		if err != nil {
 			t.Fatal(err)

@@ -45,6 +45,7 @@ import (
 	"extra/internal/hll"
 	"extra/internal/isps"
 	"extra/internal/langops"
+	"extra/internal/loadgen"
 	"extra/internal/machines"
 	"extra/internal/obs"
 	"extra/internal/proofs"
@@ -91,9 +92,9 @@ func run(args []string) error {
 	}
 	if traceFile != "" {
 		switch args[0] {
-		case "analyze", "trace", "table2":
+		case "analyze", "trace", "table2", "serve":
 		default:
-			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2)", args[0])
+			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2, serve)", args[0])
 		}
 	}
 	switch args[0] {
@@ -137,7 +138,9 @@ func run(args []string) error {
 	case "batch":
 		return batchCmd(ctx, args[1:])
 	case "serve":
-		return serveCmd(ctx, args[1:])
+		return serveCmd(ctx, traceFile, args[1:])
+	case "loadgen":
+		return loadgenCmd(ctx, args[1:])
 	case "binding":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: extra binding INSTRUCTION/OPERATOR")
@@ -183,7 +186,12 @@ func usage(w io.Writer) {
   extra binding INS/OP      emit the binding as the JSON compiler interface
   extra desc NAME           print a corpus description
   extra stats               run the whole pipeline, print the metrics report
-                            (-cpuprofile FILE, -memprofile FILE for pprof)
+                            (-cpuprofile FILE, -memprofile FILE for pprof;
+                             -format prom emits Prometheus text exposition —
+                             metric names mangle to [a-zA-Z0-9_:], so dots
+                             become underscores: server.latency.ns ->
+                             server_latency_ns; the single registry label is
+                             exported as {label="..."})
   extra batch               run the full proof catalog concurrently
                             (-jobs N, -validate N, -each-timeout D,
                              -retries N re-runs timeout/panic rows,
@@ -195,10 +203,26 @@ func usage(w io.Writer) {
                             (-addr HOST:PORT, -queue N, -jobs N,
                              -drain-timeout D, -validate N,
                              -request-timeout D, -journal FILE,
-                             -cache-dir DIR, -cache-entries N;
-                             endpoints: /analyze /batch /healthz /readyz /metrics)
+                             -cache-dir DIR, -cache-entries N,
+                             -pprof mounts /debug/pprof/;
+                             endpoints: /analyze /batch /healthz /readyz /metrics;
+                             /metrics is JSON by default, Prometheus text
+                             exposition with ?format=prom or Accept: text/plain;
+                             every request gets a trace ID — minted, or honored
+                             from traceparent / X-Request-Id — echoed back as
+                             X-Trace-Id and stamped on journal rows and spans)
+  extra loadgen             drive the service with synthetic load, report
+                            latency percentiles split warm/cold/coalesced
+                            (-url URL or in-process server; -concurrency N,
+                             -rate R open-loop req/s, -duration D, -requests N,
+                             -warm-frac F, -pairs A/B,C/D, -seed N, -json FILE,
+                             -bench prints go-bench lines for cmd/benchjson;
+                             -slo-max-5xx N and -slo-warm-p99-lt-cold-p50
+                             turn the run into a CI gate)
 
-analyze, trace and table2 accept --trace FILE to write a JSONL event trace.
+analyze, trace, table2 and serve accept --trace FILE to write a JSONL event
+trace (for serve: every request's ingress/admission/cache/engine spans,
+stamped with the request's trace ID).
 Every command accepts --timeout DURATION (e.g. 30s, 2m): analyses, searches
 and interpreter runs are abandoned with a timeout error past the deadline.
 SIGINT/SIGTERM cancel the running command the same way; a second signal
@@ -552,8 +576,14 @@ func stats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the run to `file`")
+	format := fs.String("format", "json", "report `format`: json, or prom for Prometheus text exposition (metric names are mangled to [a-zA-Z0-9_:], so dots become underscores: server.latency.ns -> server_latency_ns)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "json", "prom", "prometheus":
+	default:
+		return fmt.Errorf("-format must be json or prom, got %q", *format)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -571,7 +601,7 @@ func stats(ctx context.Context, args []string) error {
 	if err := statsRun(ctx); err != nil {
 		return err
 	}
-	if err := statsReport(os.Stdout); err != nil {
+	if err := statsReport(os.Stdout, *format); err != nil {
 		return err
 	}
 	if *memprofile != "" {
@@ -696,10 +726,14 @@ func faultDrill(ctx context.Context) error {
 	return nil
 }
 
-// statsReport writes the metrics report: the registry snapshot as indented
-// JSON with counters, gauges and histograms each sorted by (metric, label),
-// so the output is stable across runs and diffable.
-func statsReport(w io.Writer) error {
+// statsReport writes the metrics report: the registry snapshot sorted by
+// (metric, label) so the output is stable across runs and diffable —
+// indented JSON by default, Prometheus text exposition under -format prom
+// (the same encoding the serve /metrics endpoint negotiates).
+func statsReport(w io.Writer, format string) error {
+	if format == "prom" || format == "prometheus" {
+		return obs.Default().WriteProm(w)
+	}
 	return obs.Default().WriteJSON(w)
 }
 
@@ -734,6 +768,11 @@ func batchCmd(ctx context.Context, args []string) error {
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
+	// Every batch run gets a trace ID, stamped onto each row it executes —
+	// the handle that joins a journal row or report row back to this run.
+	runTrace := obs.NewTraceID()
+	ctx = obs.WithTraceID(ctx, runTrace)
+	fmt.Fprintf(os.Stderr, "batch: run trace %s\n", runTrace)
 	catalog := append(proofs.Table2(), proofs.Extensions()...)
 	r := &batch.Runner{Jobs: *jobs, Validate: *validate, EachTimeout: *eachTimeout, Retries: *retries}
 	if *resume != "" {
@@ -773,7 +812,12 @@ func batchCmd(ctx context.Context, args []string) error {
 				continue
 			}
 			if ent, ok := ch.Get(k); ok {
-				r.Completed[ak] = ent.Result
+				// Cache-served rows are re-stamped with this run's trace —
+				// the row joins against the run that served it, exactly as
+				// the server re-stamps warm responses.
+				res := ent.Result
+				res.Trace = runTrace
+				r.Completed[ak] = res
 				cacheHits++
 			}
 		}
@@ -863,8 +907,10 @@ func batchCmd(ctx context.Context, args []string) error {
 
 // serveCmd runs the analysis service until SIGINT/SIGTERM, then drains.
 // `-journal FILE` appends every served analysis row to the same crash-safe
-// JSONL journal the batch command uses.
-func serveCmd(ctx context.Context, args []string) error {
+// JSONL journal the batch command uses; `--trace FILE` streams every
+// request's span tree (ingress, admission, cache, engine — all stamped with
+// the request's trace ID) as JSON lines.
+func serveCmd(ctx context.Context, traceFile string, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen `address` (host:port; port 0 picks a free port)")
 	queue := fs.Int("queue", 16, "admission queue depth beyond the workers; excess requests get 429")
@@ -875,52 +921,186 @@ func serveCmd(ctx context.Context, args []string) error {
 	journalFile := fs.String("journal", "", "append served analysis rows to `file` as crash-safe JSONL")
 	cacheDir := fs.String("cache-dir", "", "persist analysis results as self-checksummed JSON under `directory`")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory result-cache entries (0 = 512, negative = disk tier only)")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
 	}
-	// The serve path is always cache-fronted: warm hits answer before
-	// admission control, so they never occupy a worker slot, and concurrent
-	// identical requests coalesce into one engine run.
-	ch, err := cache.New(cache.Config{Entries: *cacheEntries, Dir: *cacheDir})
-	if err != nil {
-		return err
-	}
-	cfg := server.Config{
-		Addr: *addr, Queue: *queue, Jobs: *jobs,
-		DrainTimeout: *drainTimeout, RequestTimeout: *reqTimeout,
-		Validate: *validate, Cache: ch,
-	}
-	var journal *batch.Journal
-	if *journalFile != "" {
-		j, err := batch.OpenJournal(*journalFile)
+	return withTracer(traceFile, func(tr *obs.Tracer) error {
+		// The serve path is always cache-fronted: warm hits answer before
+		// admission control, so they never occupy a worker slot, and concurrent
+		// identical requests coalesce into one engine run.
+		ch, err := cache.New(cache.Config{Entries: *cacheEntries, Dir: *cacheDir})
 		if err != nil {
 			return err
 		}
-		journal = j
-		cfg.OnResult = func(res batch.Result) {
-			if aerr := j.Append(res); aerr != nil {
-				fmt.Fprintf(os.Stderr, "extra: journal %s: %v\n", *journalFile, aerr)
+		cfg := server.Config{
+			Addr: *addr, Queue: *queue, Jobs: *jobs,
+			DrainTimeout: *drainTimeout, RequestTimeout: *reqTimeout,
+			Validate: *validate, Cache: ch,
+			Tracer: tr, EnablePprof: *pprofFlag,
+		}
+		var journal *batch.Journal
+		if *journalFile != "" {
+			j, err := batch.OpenJournal(*journalFile)
+			if err != nil {
+				return err
+			}
+			journal = j
+			cfg.OnResult = func(res batch.Result) {
+				if aerr := j.Append(res); aerr != nil {
+					fmt.Fprintf(os.Stderr, "extra: journal %s: %v\n", *journalFile, aerr)
+				}
 			}
 		}
-	}
-	srv := server.New(cfg)
-	err = srv.Run(ctx, func(a net.Addr) {
-		fmt.Printf("serving on %s\n", a)
+		srv := server.New(cfg)
+		err = srv.Run(ctx, func(a net.Addr) {
+			fmt.Printf("serving on %s\n", a)
+		})
+		// Flush sinks before reporting: the journal's last row must be durable
+		// by the time the process exits.
+		if journal != nil {
+			if cerr := journal.Close(); err == nil {
+				err = cerr
+			}
+		}
+		m := obs.Default()
+		fmt.Printf("drained: %d requests served, %d shed\n",
+			m.Total("server.requests"), m.Total("server.shed"))
+		return err
 	})
-	// Flush sinks before reporting: the journal's last row must be durable
-	// by the time the process exits.
-	if journal != nil {
-		if cerr := journal.Close(); err == nil {
-			err = cerr
+}
+
+// loadgenCmd drives a running analysis service (or one booted in-process on
+// a free port) with synthetic load and reports the delivered latency
+// distribution, bucketed warm/cold/coalesced by the X-Cache response
+// header. Optional SLO flags turn the report into a gate: the command exits
+// non-zero when the objective is violated, which is how ci.sh asserts the
+// service's latency SLO on every build.
+func loadgenCmd(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target service base `URL`; empty boots an in-process server on a free port")
+	concurrency := fs.Int("concurrency", 8, "workers keeping requests in flight")
+	rate := fs.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+	duration := fs.Duration("duration", 5*time.Second, "measured-phase length")
+	requests := fs.Int("requests", 0, "total request bound (0 = duration-bound)")
+	warmFrac := fs.Float64("warm-frac", 0.8, "fraction of requests aimed at the pre-warmed hot pair set")
+	pairsFlag := fs.String("pairs", "", "comma-separated INSTRUCTION/OPERATOR targets (empty = full proof catalog)")
+	seed := fs.Int64("seed", 1, "target-selection RNG seed (deterministic request mix)")
+	prewarm := fs.Bool("prewarm", true, "issue one unmeasured request per hot pair before measuring")
+	validate := fs.Int("validate", 0, "in-process server only: differential-validation inputs per served analysis (0 = off)")
+	jsonOut := fs.String("json", "", "write the report JSON to `file` (\"-\" = stdout)")
+	bench := fs.Bool("bench", false, "print go-test-bench result lines (pipe into cmd/benchjson)")
+	sloMax5xx := fs.Int("slo-max-5xx", -1, "gate: fail when more than `N` 5xx responses (-1 = no gate)")
+	sloWarmCold := fs.Bool("slo-warm-p99-lt-cold-p50", false, "gate: fail unless warm-hit p99 < cold-miss p50")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadgen takes no positional arguments, got %q", fs.Args())
+	}
+	var pairs []string
+	if *pairsFlag != "" {
+		pairs = strings.Split(*pairsFlag, ",")
+		for _, p := range pairs {
+			if _, err := findAnalysis(p); err != nil {
+				return fmt.Errorf("-pairs: %v", err)
+			}
+		}
+	} else {
+		for _, a := range append(proofs.Table2(), proofs.Extensions()...) {
+			pairs = append(pairs, a.Instruction+"/"+a.Operator)
 		}
 	}
-	m := obs.Default()
-	fmt.Printf("drained: %d requests served, %d shed\n",
-		m.Total("server.requests"), m.Total("server.shed"))
-	return err
+	base := *url
+	if base == "" {
+		// In-process target: a real server on a loopback ephemeral port, so
+		// the measured path includes the full HTTP stack.
+		ch, err := cache.New(cache.Config{})
+		if err != nil {
+			return err
+		}
+		srv := server.New(server.Config{Addr: "127.0.0.1:0", Cache: ch, Validate: *validate})
+		srvCtx, stop := context.WithCancel(ctx)
+		addrc := make(chan net.Addr, 1)
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Run(srvCtx, func(a net.Addr) { addrc <- a }) }()
+		select {
+		case a := <-addrc:
+			base = "http://" + a.String()
+		case err := <-errc:
+			stop()
+			return fmt.Errorf("in-process server: %w", err)
+		}
+		defer func() {
+			stop()
+			<-errc
+		}()
+	}
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL: base, Pairs: pairs,
+		WarmFrac: *warmFrac, Concurrency: *concurrency, Rate: *rate,
+		Duration: *duration, Requests: *requests,
+		Prewarm: *prewarm, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	gated := *sloMax5xx >= 0 || *sloWarmCold
+	var verdict loadgen.SLOResult
+	if gated {
+		slo := loadgen.SLO{WarmP99LTColdP50: *sloWarmCold}
+		if *sloMax5xx > 0 {
+			slo.Max5xx = *sloMax5xx
+		}
+		verdict = rep.Evaluate(slo)
+	}
+	if err := writeLoadgenReport(rep, *jsonOut, *bench); err != nil {
+		return err
+	}
+	if gated && !verdict.Pass {
+		return fmt.Errorf("SLO violated: %s", strings.Join(verdict.Violations, "; "))
+	}
+	return nil
+}
+
+// writeLoadgenReport emits the report: JSON to -json's target, bench lines
+// to stdout under -bench, and a human summary to stderr so it never
+// corrupts a piped report.
+func writeLoadgenReport(rep *loadgen.Report, jsonOut string, bench bool) error {
+	if jsonOut != "" {
+		w := io.Writer(os.Stdout)
+		if jsonOut != "-" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	if bench {
+		if err := rep.WriteBench(os.Stdout, "Serve"); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s loop, %d requests in %v (%.1f req/s): %d warm, %d cold, %d coalesced, %d shed, %d 5xx, %d errors\n",
+		rep.Mode, rep.Requests, time.Duration(rep.ElapsedNS).Round(time.Millisecond),
+		rep.ThroughputRPS, rep.Warm.Count, rep.Cold.Count, rep.Coalesced.Count,
+		rep.Shed, rep.Server5xx, rep.Errors)
+	if rep.Warm.Count > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: warm p50 %v p99 %v; cold p50 %v p99 %v\n",
+			time.Duration(rep.Warm.P50NS), time.Duration(rep.Warm.P99NS),
+			time.Duration(rep.Cold.P50NS), time.Duration(rep.Cold.P99NS))
+	}
+	return nil
 }
 
 func desc(name string) error {

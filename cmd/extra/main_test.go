@@ -230,7 +230,7 @@ func TestStatsReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := statsReport(&buf); err != nil {
+	if err := statsReport(&buf, "json"); err != nil {
 		t.Fatal(err)
 	}
 	first := buf.String()
@@ -278,7 +278,7 @@ func TestStatsReportShape(t *testing.T) {
 	// A second report over the same registry must be byte-identical: the
 	// ordering is part of the output contract.
 	var again bytes.Buffer
-	if err := statsReport(&again); err != nil {
+	if err := statsReport(&again, "json"); err != nil {
 		t.Fatal(err)
 	}
 	if again.String() != first {

@@ -42,6 +42,10 @@ type Result struct {
 	// agreed on (0 when validation was off or the analysis failed).
 	Validated  int   `json:"validated,omitempty"`
 	DurationMS int64 `json:"duration_ms"`
+	// Trace is the trace ID of the originating request or batch run
+	// (obs.TraceIDFrom on the execution context), so a slow row in a
+	// journal or report can be joined against its JSONL trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Pair is the row's instruction/operator label.
@@ -216,6 +220,7 @@ func (r *Runner) RunOneBound(ctx context.Context, a *proofs.Analysis) (Result, *
 		Machine: a.Machine, Instruction: a.Instruction,
 		Language: a.Language, Operation: a.Operation,
 		Operator: a.Operator, Extended: a.Extended,
+		Trace: obs.TraceIDFrom(ctx),
 	}
 	var bound *core.Binding
 	start := time.Now()

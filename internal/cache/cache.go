@@ -37,6 +37,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"extra/internal/batch"
 	"extra/internal/isps"
@@ -99,6 +100,45 @@ type Config struct {
 // produce a result (for the analysis service: the leader was shed by
 // admission control), so there is nothing to share with coalesced waiters.
 var ErrNoResult = errors.New("cache: no result produced")
+
+// Outcome classifies how a Do call was answered; the analysis service
+// surfaces it to clients as the X-Cache response header and the load
+// generator buckets latencies by it (a coalesced wait costs engine time
+// and must not pollute the warm-hit percentiles).
+type Outcome uint8
+
+const (
+	// OutcomeMiss: this caller was the leader and ran fn itself.
+	OutcomeMiss Outcome = iota
+	// OutcomeHitMem: served from the in-memory tier.
+	OutcomeHitMem
+	// OutcomeHitDisk: served from the persistent tier.
+	OutcomeHitDisk
+	// OutcomeCoalesced: served by waiting on another caller's run.
+	OutcomeCoalesced
+)
+
+// Shared reports whether the answer came from the cache or another
+// caller's run rather than this caller's own fn.
+func (o Outcome) Shared() bool { return o != OutcomeMiss }
+
+// Warm reports whether the answer was a genuine cache hit (either tier) —
+// served at cache speed, without an engine run anywhere in the request's
+// critical path.
+func (o Outcome) Warm() bool { return o == OutcomeHitMem || o == OutcomeHitDisk }
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHitMem:
+		return "hit"
+	case OutcomeHitDisk:
+		return "hit-disk"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
 
 const (
 	defaultEntries = 512
@@ -197,37 +237,48 @@ func (c *Cache) shardFor(k Key) *shard {
 
 // Get looks a key up in the memory tier and then the persistent tier
 // (promoting a disk hit into memory). Counters: cache.hit{mem,disk} and
-// cache.miss.
+// cache.miss; per-tier lookup latencies land in cache.lookup.ns{mem,disk}
+// so /metrics can attribute where cache time goes.
 func (c *Cache) Get(k Key) (Entry, bool) {
 	if c == nil {
 		return Entry{}, false
 	}
+	start := time.Now()
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	ent, ok := sh.peek(k)
 	sh.mu.Unlock()
+	m := c.metrics()
+	m.ObserveSince("cache.lookup.ns", "mem", start)
 	if ok {
-		c.metrics().Inc("cache.hit", "mem")
+		m.Inc("cache.hit", "mem")
 		return ent, true
 	}
-	if ent, ok := c.diskGet(k); ok {
-		c.metrics().Inc("cache.hit", "disk")
-		c.memPut(k, ent)
-		return ent, true
+	if c.cfg.Dir != "" {
+		diskStart := time.Now()
+		ent, ok := c.diskGet(k)
+		m.ObserveSince("cache.lookup.ns", "disk", diskStart)
+		if ok {
+			m.Inc("cache.hit", "disk")
+			c.memPut(k, ent)
+			return ent, true
+		}
 	}
-	c.metrics().Inc("cache.miss", "")
+	m.Inc("cache.miss", "")
 	return Entry{}, false
 }
 
 // Put stores an entry in both tiers. Only "ok" rows are cacheable — a
 // failure row is dropped silently (cache a failure and you can never heal;
 // the circuit breaker caches failures *with* a cooldown). The stored row's
-// DurationMS is zeroed: a warm hit reports its own serve cost.
+// DurationMS and Trace are zeroed: a warm hit reports its own serve cost
+// and belongs to the *serving* request's trace, not the producing one's.
 func (c *Cache) Put(k Key, ent Entry) {
 	if c == nil || ent.Result.Outcome != "ok" {
 		return
 	}
 	ent.Result.DurationMS = 0
+	ent.Result.Trace = ""
 	c.memPut(k, ent)
 	c.diskPut(k, ent)
 }
@@ -237,30 +288,34 @@ func (c *Cache) Put(k Key, ent Entry) {
 // for the same key waits for the leader's answer instead of running its own
 // (cache.coalesced). The leader's "ok" row is inserted into the cache.
 //
-// Returns (entry, shared, err):
-//   - err == nil: entry is valid; shared reports whether it came from the
-//     cache or another caller's run (true) or this caller's own fn (false);
-//   - err == ErrNoResult: fn declined to produce a result — when shared is
-//     false this caller WAS the leader (its fn already handled the refusal),
-//     when true the leader declined and this waiter must answer for itself;
+// Returns (entry, outcome, err):
+//   - err == nil: entry is valid; outcome reports how it was answered —
+//     OutcomeHitMem/OutcomeHitDisk from the cache, OutcomeCoalesced from
+//     another caller's run, OutcomeMiss from this caller's own fn;
+//   - err == ErrNoResult: fn declined to produce a result — on OutcomeMiss
+//     this caller WAS the leader (its fn already handled the refusal), on
+//     OutcomeCoalesced the leader declined and this waiter must answer for
+//     itself;
 //   - other err: ctx ended while waiting on another caller's run.
 //
 // fn returns (entry, true) on production, (zero, false) to decline.
-func (c *Cache) Do(ctx context.Context, k Key, fn func() (Entry, bool)) (Entry, bool, error) {
+func (c *Cache) Do(ctx context.Context, k Key, fn func() (Entry, bool)) (Entry, Outcome, error) {
 	if c == nil {
 		ent, ok := fn()
 		if !ok {
-			return Entry{}, false, ErrNoResult
+			return Entry{}, OutcomeMiss, ErrNoResult
 		}
-		return ent, false, nil
+		return ent, OutcomeMiss, nil
 	}
 	m := c.metrics()
+	start := time.Now()
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	if ent, ok := sh.peek(k); ok {
 		sh.mu.Unlock()
+		m.ObserveSince("cache.lookup.ns", "mem", start)
 		m.Inc("cache.hit", "mem")
-		return ent, true, nil
+		return ent, OutcomeHitMem, nil
 	}
 	if f, ok := sh.flights[k]; ok {
 		sh.mu.Unlock()
@@ -268,11 +323,11 @@ func (c *Cache) Do(ctx context.Context, k Key, fn func() (Entry, bool)) (Entry, 
 		select {
 		case <-f.done:
 			if !f.ok {
-				return Entry{}, true, ErrNoResult
+				return Entry{}, OutcomeCoalesced, ErrNoResult
 			}
-			return f.ent, true, nil
+			return f.ent, OutcomeCoalesced, nil
 		case <-ctx.Done():
-			return Entry{}, true, ctx.Err()
+			return Entry{}, OutcomeCoalesced, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -285,24 +340,30 @@ func (c *Cache) Do(ctx context.Context, k Key, fn func() (Entry, bool)) (Entry, 
 		close(f.done)
 	}()
 	// The leader still gets the persistent tier before paying for fn.
-	if ent, ok := c.diskGet(k); ok {
-		m.Inc("cache.hit", "disk")
-		c.memPut(k, ent)
-		f.ent, f.ok = ent, true
-		return ent, true, nil
+	if c.cfg.Dir != "" {
+		diskStart := time.Now()
+		ent, ok := c.diskGet(k)
+		m.ObserveSince("cache.lookup.ns", "disk", diskStart)
+		if ok {
+			m.Inc("cache.hit", "disk")
+			c.memPut(k, ent)
+			f.ent, f.ok = ent, true
+			return ent, OutcomeHitDisk, nil
+		}
 	}
 	m.Inc("cache.miss", "")
 	ent, ok := fn()
 	if !ok {
-		return Entry{}, false, ErrNoResult
+		return Entry{}, OutcomeMiss, ErrNoResult
 	}
 	if ent.Result.Outcome == "ok" {
 		ent.Result.DurationMS = 0
+		ent.Result.Trace = ""
 		c.memPut(k, ent)
 		c.diskPut(k, ent)
 	}
 	f.ent, f.ok = ent, true
-	return ent, false, nil
+	return ent, OutcomeMiss, nil
 }
 
 // peek returns the shard's entry for k, refreshing its LRU position. The

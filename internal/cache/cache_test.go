@@ -117,12 +117,12 @@ func TestNilCache(t *testing.T) {
 		t.Error("nil cache has entries")
 	}
 	ran := false
-	ent, shared, err := c.Do(context.Background(), testKey(1), func() (Entry, bool) {
+	ent, out, err := c.Do(context.Background(), testKey(1), func() (Entry, bool) {
 		ran = true
 		return okEntry("x"), true
 	})
-	if !ran || shared || err != nil || ent.Result.Outcome != "ok" {
-		t.Errorf("nil-cache Do: ran=%v shared=%v err=%v", ran, shared, err)
+	if !ran || out != OutcomeMiss || err != nil || ent.Result.Outcome != "ok" {
+		t.Errorf("nil-cache Do: ran=%v outcome=%v err=%v", ran, out, err)
 	}
 }
 
@@ -179,7 +179,7 @@ func TestDogpileSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ent, shared, err := c.Do(context.Background(), k, fn)
+			ent, out, err := c.Do(context.Background(), k, fn)
 			if err != nil {
 				t.Errorf("Do: %v", err)
 				return
@@ -187,7 +187,7 @@ func TestDogpileSingleflight(t *testing.T) {
 			if ent.Result.Outcome != "ok" {
 				t.Errorf("Do returned outcome %q", ent.Result.Outcome)
 			}
-			if shared {
+			if out == OutcomeCoalesced {
 				shares.Add(1)
 			}
 		}()
@@ -211,11 +211,11 @@ func TestDogpileSingleflight(t *testing.T) {
 		t.Errorf("cache.coalesced = %d, want %d", got, n-1)
 	}
 	// The flight's product is now cached: one more Do is a plain hit.
-	if _, shared, err := c.Do(context.Background(), k, func() (Entry, bool) {
+	if _, out, err := c.Do(context.Background(), k, func() (Entry, bool) {
 		t.Error("fn ran for a cached key")
 		return Entry{}, false
-	}); err != nil || !shared {
-		t.Errorf("post-flight Do: shared=%v err=%v", shared, err)
+	}); err != nil || out != OutcomeHitMem {
+		t.Errorf("post-flight Do: outcome=%v err=%v", out, err)
 	}
 }
 
@@ -227,14 +227,14 @@ func TestDoDecline(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey(7)
-	_, shared, derr := c.Do(context.Background(), k, func() (Entry, bool) { return Entry{}, false })
-	if !errors.Is(derr, ErrNoResult) || shared {
-		t.Errorf("declining leader: shared=%v err=%v, want ErrNoResult/false", shared, derr)
+	_, out, derr := c.Do(context.Background(), k, func() (Entry, bool) { return Entry{}, false })
+	if !errors.Is(derr, ErrNoResult) || out.Shared() {
+		t.Errorf("declining leader: outcome=%v err=%v, want ErrNoResult/miss", out, derr)
 	}
 	// A declined flight must not poison the key: the next Do runs fn.
-	ent, shared, derr := c.Do(context.Background(), k, func() (Entry, bool) { return okEntry("x"), true })
-	if derr != nil || shared || ent.Result.Outcome != "ok" {
-		t.Errorf("Do after a declined flight: shared=%v err=%v", shared, derr)
+	ent, out, derr := c.Do(context.Background(), k, func() (Entry, bool) { return okEntry("x"), true })
+	if derr != nil || out != OutcomeMiss || ent.Result.Outcome != "ok" {
+		t.Errorf("Do after a declined flight: outcome=%v err=%v", out, derr)
 	}
 }
 
@@ -413,11 +413,11 @@ func TestDoServesDiskTier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ent, shared, derr := c2.Do(context.Background(), k, func() (Entry, bool) {
+	ent, out, derr := c2.Do(context.Background(), k, func() (Entry, bool) {
 		t.Error("fn ran despite a persistent entry")
 		return Entry{}, false
 	})
-	if derr != nil || !shared || ent.Result.Outcome != "ok" {
-		t.Errorf("disk-tier Do: shared=%v err=%v", shared, derr)
+	if derr != nil || out != OutcomeHitDisk || ent.Result.Outcome != "ok" {
+		t.Errorf("disk-tier Do: outcome=%v err=%v", out, derr)
 	}
 }

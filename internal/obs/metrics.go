@@ -20,24 +20,71 @@ type key struct {
 	Label  string
 }
 
-// histogram accumulates observations into power-of-two buckets. All fields
-// are manipulated atomically so concurrent observers never block each
-// other once the series exists.
+// Rolling-window geometry: every histogram additionally maintains a ring
+// of winSlots sub-histograms, each covering winSlotDur of wall time, so a
+// snapshot can report quantiles over roughly the last minute as well as
+// over the process lifetime. A slot is recycled in place when its epoch
+// (now / winSlotDur) comes around again.
+const (
+	winSlots   = 6
+	winSlotDur = 10 * time.Second
+)
+
+// WindowSeconds is the rolling-window width snapshots report over.
+const WindowSeconds = int(winSlots * winSlotDur / time.Second)
+
+// winSlot is one time slice of a histogram's rolling window. epoch tags
+// which winSlotDur interval the counts belong to; readers ignore slots
+// whose epoch has fallen out of the window.
+type winSlot struct {
+	mu      sync.Mutex // serializes recycling only; observers use atomics
+	epoch   atomic.Int64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [65]atomic.Uint64
+}
+
+// reset recycles the slot for a new epoch. Double-checked under the slot
+// mutex so concurrent observers recycle once; an observation racing the
+// wipe can be lost or land in the fresh epoch, which is acceptable for a
+// rolling approximation (the cumulative histogram never loses it).
+func (s *winSlot) reset(epoch int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch.Load() == epoch {
+		return
+	}
+	s.count.Store(0)
+	s.sum.Store(0)
+	for i := range s.buckets {
+		s.buckets[i].Store(0)
+	}
+	s.epoch.Store(epoch)
+}
+
+// histogram accumulates observations into power-of-two buckets, both
+// cumulatively and into the rolling window ring. All hot-path fields are
+// manipulated atomically so concurrent observers never block each other
+// once the series exists.
 type histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	min     atomic.Uint64 // stores math.MaxUint64 until the first observation
 	max     atomic.Uint64
 	buckets [65]atomic.Uint64 // bucket i counts values with bit length i
+	slots   [winSlots]winSlot
 }
 
 func newHistogram() *histogram {
 	h := &histogram{}
 	h.min.Store(math.MaxUint64)
+	for i := range h.slots {
+		h.slots[i].epoch.Store(-1)
+	}
 	return h
 }
 
-func (h *histogram) observe(v uint64) {
+func (h *histogram) observe(v uint64, epoch int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bits.Len64(v)].Add(1)
@@ -53,6 +100,13 @@ func (h *histogram) observe(v uint64) {
 			break
 		}
 	}
+	s := &h.slots[epoch%winSlots]
+	if s.epoch.Load() != epoch {
+		s.reset(epoch)
+	}
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.buckets[bits.Len64(v)].Add(1)
 }
 
 // Registry is a concurrency-safe set of counters, gauges, and histograms.
@@ -62,6 +116,21 @@ type Registry struct {
 	counters map[key]*atomic.Uint64
 	gauges   map[key]*atomic.Int64
 	hists    map[key]*histogram
+	// now substitutes the wall clock for rolling-window tests; nil means
+	// time.Now.
+	now func() time.Time
+}
+
+func (r *Registry) clock() time.Time {
+	if r.now != nil {
+		return r.now()
+	}
+	return time.Now()
+}
+
+// epoch returns the rolling-window slot epoch for the current time.
+func (r *Registry) epoch() int64 {
+	return r.clock().UnixNano() / int64(winSlotDur)
 }
 
 // NewRegistry returns an empty registry.
@@ -180,7 +249,7 @@ func (r *Registry) Observe(metric, label string, v uint64) {
 		}
 		r.mu.Unlock()
 	}
-	h.observe(v)
+	h.observe(v, r.epoch())
 }
 
 // ObserveSince records the nanoseconds elapsed since start.
@@ -217,17 +286,39 @@ type GaugeSnap struct {
 	Value  int64  `json:"value"`
 }
 
+// Quantiles are nearest-rank quantile estimates interpolated inside the
+// histogram's power-of-two buckets: each estimate is guaranteed to fall
+// within the bucket that holds the true quantile of the observed values.
+type Quantiles struct {
+	P50  uint64 `json:"p50"`
+	P90  uint64 `json:"p90"`
+	P99  uint64 `json:"p99"`
+	P999 uint64 `json:"p999"`
+}
+
+// WindowSnap is the rolling-window view of a histogram: the same stats and
+// quantile estimates restricted to roughly the last WindowSeconds.
+type WindowSnap struct {
+	Seconds int     `json:"seconds"`
+	Count   uint64  `json:"count"`
+	Sum     uint64  `json:"sum"`
+	Mean    float64 `json:"mean"`
+	Quantiles
+}
+
 // HistSnap is one histogram series in a snapshot. Buckets maps the
 // exclusive power-of-two upper bound ("<2^k") to its count, omitting empty
 // buckets.
 type HistSnap struct {
-	Metric  string  `json:"metric"`
-	Label   string  `json:"label,omitempty"`
-	Count   uint64  `json:"count"`
-	Sum     uint64  `json:"sum"`
-	Min     uint64  `json:"min"`
-	Max     uint64  `json:"max"`
-	Mean    float64 `json:"mean"`
+	Metric string  `json:"metric"`
+	Label  string  `json:"label,omitempty"`
+	Count  uint64  `json:"count"`
+	Sum    uint64  `json:"sum"`
+	Min    uint64  `json:"min"`
+	Max    uint64  `json:"max"`
+	Mean   float64 `json:"mean"`
+	Quantiles
+	Window  *WindowSnap `json:"window,omitempty"`
 	Buckets []struct {
 		Le    string `json:"le"`
 		Count uint64 `json:"count"`
@@ -260,6 +351,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, g := range r.gauges {
 		snap.Gauges = append(snap.Gauges, GaugeSnap{k.Metric, k.Label, g.Load()})
 	}
+	epoch := r.epoch()
 	for k, h := range r.hists {
 		hs := HistSnap{Metric: k.Metric, Label: k.Label,
 			Count: h.count.Load(), Sum: h.sum.Load(), Min: h.min.Load(), Max: h.max.Load()}
@@ -268,13 +360,19 @@ func (r *Registry) Snapshot() Snapshot {
 		} else {
 			hs.Mean = float64(hs.Sum) / float64(hs.Count)
 		}
+		var counts [65]uint64
 		for i := range h.buckets {
 			if n := h.buckets[i].Load(); n > 0 {
+				counts[i] = n
 				hs.Buckets = append(hs.Buckets, struct {
 					Le    string `json:"le"`
 					Count uint64 `json:"count"`
 				}{bucketName(i), n})
 			}
+		}
+		hs.Quantiles = quantiles(&counts, hs.Count, hs.Min, hs.Max)
+		if win, ok := h.window(epoch); ok {
+			hs.Window = win
 		}
 		snap.Histograms = append(snap.Histograms, hs)
 	}
@@ -282,6 +380,110 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Slice(snap.Gauges, func(i, j int) bool { return lessKey(snap.Gauges[i].Metric, snap.Gauges[i].Label, snap.Gauges[j].Metric, snap.Gauges[j].Label) })
 	sort.Slice(snap.Histograms, func(i, j int) bool { return lessKey(snap.Histograms[i].Metric, snap.Histograms[i].Label, snap.Histograms[j].Metric, snap.Histograms[j].Label) })
 	return snap
+}
+
+// window folds the histogram's live slots (epoch within the last winSlots
+// intervals ending at now) into one WindowSnap. ok is false when the
+// window holds no observations.
+func (h *histogram) window(now int64) (*WindowSnap, bool) {
+	var (
+		counts [65]uint64
+		count  uint64
+		sum    uint64
+	)
+	for i := range h.slots {
+		s := &h.slots[i]
+		e := s.epoch.Load()
+		if e < 0 || e <= now-winSlots || e > now {
+			continue
+		}
+		count += s.count.Load()
+		sum += s.sum.Load()
+		for b := range s.buckets {
+			counts[b] += s.buckets[b].Load()
+		}
+	}
+	if count == 0 {
+		return nil, false
+	}
+	win := &WindowSnap{Seconds: WindowSeconds, Count: count, Sum: sum,
+		Mean: float64(sum) / float64(count)}
+	win.Quantiles = quantiles(&counts, count, 0, math.MaxUint64)
+	return win, true
+}
+
+// quantiles estimates p50/p90/p99/p999 from power-of-two bucket counts.
+// min/max clamp the extreme estimates when the caller tracks them
+// (cumulative histograms do; windows pass the full range).
+func quantiles(counts *[65]uint64, total, min, max uint64) Quantiles {
+	return Quantiles{
+		P50:  quantile(counts, total, 0.50, min, max),
+		P90:  quantile(counts, total, 0.90, min, max),
+		P99:  quantile(counts, total, 0.99, min, max),
+		P999: quantile(counts, total, 0.999, min, max),
+	}
+}
+
+// quantile locates the nearest-rank q-quantile's bucket exactly (bucket
+// counts are exact) and interpolates linearly inside it, so the estimate
+// always falls within the bucket holding the true quantile — the bound the
+// snapshot tests assert against a sorted reference.
+func quantile(counts *[65]uint64, total uint64, q float64, min, max uint64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	// Nearest rank: the smallest rank r (1-based) with r >= q*total.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < len(counts); i++ {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		// Position of the target rank inside this bucket, interpolated
+		// uniformly across the bucket's n values.
+		pos := float64(rank-cum) / float64(n)
+		est := uint64(float64(lo) + pos*float64(hi-lo))
+		if est < lo {
+			est = lo
+		}
+		if est > hi {
+			est = hi
+		}
+		if est < min {
+			est = min
+		}
+		if est > max {
+			est = max
+		}
+		return est
+	}
+	return max
+}
+
+// bucketBounds returns the inclusive value range of bucket i (values whose
+// bit length is i): bucket 0 holds only 0, bucket i>=1 holds
+// [2^(i-1), 2^i - 1].
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << uint(i-1)
+	if i >= 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<uint(i) - 1
 }
 
 func lessKey(m1, l1, m2, l2 string) bool {

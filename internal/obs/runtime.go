@@ -1,0 +1,27 @@
+package obs
+
+import "runtime"
+
+// SampleRuntime records process runtime gauges into the registry — called
+// at /metrics scrape time, so the series are fresh without a background
+// sampler goroutine:
+//
+//	runtime.goroutines           live goroutine count
+//	runtime.heap_alloc_bytes     live heap bytes
+//	runtime.heap_sys_bytes       heap bytes obtained from the OS
+//	runtime.gc_count             completed GC cycles
+//	runtime.gc_pause_total_ns    cumulative stop-the-world pause time
+//	runtime.next_gc_bytes        heap size that triggers the next cycle
+func (r *Registry) SampleRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Set("runtime.goroutines", "", int64(runtime.NumGoroutine()))
+	r.Set("runtime.heap_alloc_bytes", "", int64(ms.HeapAlloc))
+	r.Set("runtime.heap_sys_bytes", "", int64(ms.HeapSys))
+	r.Set("runtime.gc_count", "", int64(ms.NumGC))
+	r.Set("runtime.gc_pause_total_ns", "", int64(ms.PauseTotalNs))
+	r.Set("runtime.next_gc_bytes", "", int64(ms.NextGC))
+}

@@ -19,6 +19,9 @@ type Event struct {
 	Phase string `json:"phase,omitempty"`
 	// Span is the enclosing or bounded span's id (0 = none).
 	Span int64 `json:"span,omitempty"`
+	// Trace is the request/run trace ID the emitting tracer was derived
+	// with (Tracer.WithTrace); "" on tracers without one.
+	Trace string `json:"trace,omitempty"`
 	// DurNS is the span duration on "end" events.
 	DurNS int64 `json:"dur_ns,omitempty"`
 	// Attrs carries event-specific fields (transformation name, cursor
@@ -32,15 +35,39 @@ type Sink interface {
 }
 
 // Tracer fans events out to its sinks. A nil *Tracer is a valid disabled
-// tracer: every method is a no-op and allocates nothing.
+// tracer: every method is a no-op and allocates nothing. WithTrace derives
+// request-scoped tracers that stamp a trace ID on every event while
+// sharing the parent's sinks and span counter.
 type Tracer struct {
 	sinks    []Sink
-	nextSpan atomic.Int64
+	trace    string
+	nextSpan *atomic.Int64
 }
 
 // NewTracer builds a tracer over the given sinks.
 func NewTracer(sinks ...Sink) *Tracer {
-	return &Tracer{sinks: sinks}
+	return &Tracer{sinks: sinks, nextSpan: &atomic.Int64{}}
+}
+
+// WithTrace derives a tracer that stamps id into every event's Trace
+// field. The derived tracer shares the parent's sinks and span-id counter,
+// so spans stay unique across concurrent requests writing one trace file.
+// A nil parent (or empty id) passes through unchanged.
+func (t *Tracer) WithTrace(id string) *Tracer {
+	if t == nil || id == "" || t.trace == id {
+		return t
+	}
+	d := *t
+	d.trace = id
+	return &d
+}
+
+// TraceID returns the trace ID this tracer stamps ("" for the root).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.trace
 }
 
 // Enabled reports whether events will reach any sink. Hot paths should
@@ -60,7 +87,7 @@ func (t *Tracer) Event(name string, attrs map[string]any) {
 	if !t.Enabled() {
 		return
 	}
-	t.emit(&Event{Time: time.Now(), Name: name, Attrs: attrs})
+	t.emit(&Event{Time: time.Now(), Name: name, Trace: t.trace, Attrs: attrs})
 }
 
 // Span is an in-progress timed region. The zero Span (from a disabled
@@ -78,7 +105,7 @@ func (t *Tracer) StartSpan(name string, attrs map[string]any) Span {
 		return Span{}
 	}
 	sp := Span{t: t, id: t.nextSpan.Add(1), name: name, start: time.Now()}
-	t.emit(&Event{Time: sp.start, Name: name, Phase: "begin", Span: sp.id, Attrs: attrs})
+	t.emit(&Event{Time: sp.start, Name: name, Phase: "begin", Span: sp.id, Trace: t.trace, Attrs: attrs})
 	return sp
 }
 
@@ -87,7 +114,7 @@ func (s Span) Event(name string, attrs map[string]any) {
 	if !s.t.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Time: time.Now(), Name: name, Span: s.id, Attrs: attrs})
+	s.t.emit(&Event{Time: time.Now(), Name: name, Span: s.id, Trace: s.t.trace, Attrs: attrs})
 }
 
 // End closes the span, emitting its "end" event with the duration.
@@ -96,7 +123,7 @@ func (s Span) End(attrs map[string]any) {
 		return
 	}
 	now := time.Now()
-	s.t.emit(&Event{Time: now, Name: s.name, Phase: "end", Span: s.id,
+	s.t.emit(&Event{Time: now, Name: s.name, Phase: "end", Span: s.id, Trace: s.t.trace,
 		DurNS: now.Sub(s.start).Nanoseconds(), Attrs: attrs})
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+)
+
+// Trace identity. A trace ID names one request (or one batch run) across
+// every layer it touches: minted at serve ingress (or honored from an
+// incoming traceparent / X-Request-Id header), carried through
+// context.Context, stamped onto every span and event a derived tracer
+// emits (Tracer.WithTrace), echoed on the response, and recorded on the
+// batch.Result row — so one slow row in a report can be joined against its
+// JSONL trace and the access log.
+
+// traceKey is the context key for the request's trace ID.
+type traceKey struct{}
+
+// tracerKey is the context key for the request's derived tracer.
+type tracerKey struct{}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID ("" when none was attached).
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// WithTracer returns a context carrying a request-scoped tracer (usually
+// one derived with Tracer.WithTrace).
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's request-scoped tracer; possibly nil,
+// which every Tracer method accepts as a no-op.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// traceIDCounter disambiguates minted IDs if the random source ever fails.
+var traceIDCounter atomic.Uint64
+
+// NewTraceID mints a 32-hex-character trace ID (the W3C trace-id width).
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a process-unique counter rather than failing the
+		// request: trace identity is advisory.
+		n := traceIDCounter.Add(1)
+		for i := 0; i < 8; i++ {
+			b[15-i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is usable as a trace ID: 1-64 characters
+// drawn from [0-9a-zA-Z_-], so hostile headers cannot smuggle newlines or
+// JSON into trace files and response headers.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent extracts the trace-id field of a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). ok is false
+// for malformed headers and for the all-zero trace ID the spec forbids.
+func ParseTraceparent(header string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	allZero := true
+	for i := 0; i < len(parts[1]); i++ {
+		c := parts[1][i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", false
+		}
+		if c != '0' {
+			allZero = false
+		}
+	}
+	if allZero {
+		return "", false
+	}
+	return parts[1], true
+}

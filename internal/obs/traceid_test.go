@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace IDs %q, %q: want 32 hex chars", a, b)
+	}
+	if a == b {
+		t.Error("two minted trace IDs collide")
+	}
+	if !ValidTraceID(a) {
+		t.Errorf("minted ID %q fails its own validator", a)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"a", "deadbeef", "ABC-123_xyz", strings.Repeat("f", 64)}
+	invalid := []string{"", strings.Repeat("f", 65), "has space", "new\nline", `quo"te`, "semi;colon"}
+	for _, id := range valid {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range invalid {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	id, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok || id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("well-formed traceparent: id=%q ok=%v", id, ok)
+	}
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-short-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero forbidden
+		"00-4bf92f3577b34da6a3ce929d0e0e47XY-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+	}
+	for _, h := range bad {
+		if id, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, id=%q", h, id)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Errorf("empty context carries trace %q", got)
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceIDFrom(ctx); got != "abc123" {
+		t.Errorf("TraceIDFrom = %q, want abc123", got)
+	}
+	if got := TracerFrom(ctx); got != nil {
+		t.Errorf("context carries tracer %v without WithTracer", got)
+	}
+	tr := NewTracer(&MemSink{})
+	ctx = WithTracer(ctx, tr)
+	if got := TracerFrom(ctx); got != tr {
+		t.Error("TracerFrom did not return the attached tracer")
+	}
+	if got := TraceIDFrom(nil); got != "" { //nolint:staticcheck // nil-safety contract
+		t.Errorf("nil context trace = %q", got)
+	}
+}
+
+// TestWithTraceStampsEvents: a derived tracer stamps its trace ID on point
+// events, span boundaries, and span-internal events, while the parent stays
+// unstamped and both share one span-ID sequence (no collisions in a shared
+// trace file).
+func TestWithTraceStampsEvents(t *testing.T) {
+	sink := &MemSink{}
+	root := NewTracer(sink)
+	d1 := root.WithTrace("trace-1")
+	d2 := root.WithTrace("trace-2")
+
+	root.Event("root.point", nil)
+	s1 := d1.StartSpan("req", nil)
+	s1.Event("inner", nil)
+	s1.End(nil)
+	s2 := d2.StartSpan("req", nil)
+	s2.End(nil)
+
+	events := sink.Events()
+	byTrace := map[string]int{}
+	spanIDs := map[int64]string{}
+	for _, e := range events {
+		byTrace[e.Trace]++
+		if e.Span != 0 {
+			if prev, ok := spanIDs[e.Span]; ok && prev != e.Trace {
+				t.Errorf("span id %d reused across traces %q and %q", e.Span, prev, e.Trace)
+			}
+			spanIDs[e.Span] = e.Trace
+		}
+	}
+	if byTrace[""] != 1 || byTrace["trace-1"] != 3 || byTrace["trace-2"] != 2 {
+		t.Errorf("trace stamping off: %v", byTrace)
+	}
+	if root.TraceID() != "" || d1.TraceID() != "trace-1" {
+		t.Errorf("TraceID: root %q derived %q", root.TraceID(), d1.TraceID())
+	}
+	if nilDerived := (*Tracer)(nil).WithTrace("x"); nilDerived != nil {
+		t.Error("nil tracer derived a non-nil tracer")
+	}
+}
+
+// TestConcurrentJSONLTraceEmission is the -race torn-line test: many
+// derived tracers hammer one JSONL sink concurrently; afterwards every line
+// must parse as a complete event and per-trace span sequences must be
+// intact. Run with -race this also proves the sink's locking.
+func TestConcurrentJSONLTraceEmission(t *testing.T) {
+	var buf syncBuffer
+	sink := NewJSONLSink(&buf)
+	root := NewTracer(sink)
+	const workers, spansEach = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := root.WithTrace(string(rune('a'+w)) + "-trace")
+			for i := 0; i < spansEach; i++ {
+				sp := tr.StartSpan("work", map[string]any{"i": i})
+				sp.Event("step", nil)
+				sp.End(nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	wantLines := workers * spansEach * 3
+	if len(lines) != wantLines {
+		t.Fatalf("%d JSONL lines, want %d", len(lines), wantLines)
+	}
+	perTrace := map[string]int{}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is torn or invalid JSON: %v\n%s", i, err, line)
+		}
+		if e.Trace == "" {
+			t.Fatalf("line %d lacks a trace ID: %s", i, line)
+		}
+		perTrace[e.Trace]++
+	}
+	if len(perTrace) != workers {
+		t.Errorf("%d distinct traces, want %d", len(perTrace), workers)
+	}
+	for tr, n := range perTrace {
+		if n != spansEach*3 {
+			t.Errorf("trace %s has %d events, want %d", tr, n, spansEach*3)
+		}
+	}
+}
+
+// TestJSONLSinkDropsOnWriterError: a failing writer must not panic or fail
+// the traced computation; the sink records the first error and counts every
+// dropped event.
+func TestJSONLSinkDropsOnWriterError(t *testing.T) {
+	fw := &failingWriter{failAfter: 2}
+	sink := NewJSONLSink(fw)
+	tr := NewTracer(sink).WithTrace("t")
+	for i := 0; i < 10; i++ {
+		tr.Event("e", nil)
+	}
+	if sink.Err() == nil {
+		t.Fatal("sink swallowed the write error")
+	}
+	if got := sink.Dropped(); got != 8 {
+		t.Errorf("Dropped() = %d, want 8 (2 writes succeeded before the failure)", got)
+	}
+	// Concurrent emission against a failing writer stays race-free and
+	// every failure is counted.
+	fw2 := &failingWriter{failAfter: 0}
+	sink2 := NewJSONLSink(fw2)
+	tr2 := NewTracer(sink2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := tr2.WithTrace("x")
+			for i := 0; i < 25; i++ {
+				d.Event("e", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sink2.Dropped(); got != 100 {
+		t.Errorf("Dropped() = %d, want 100", got)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer; the JSONL sink serializes
+// writes itself, but the test's final read must also be safe.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// failingWriter accepts failAfter writes then errors forever.
+type failingWriter struct {
+	n         int
+	failAfter int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > w.failAfter {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}

@@ -220,8 +220,10 @@ func TestCorruptCacheEntryNever500(t *testing.T) {
 	if m.Counter("cache.hit", "disk") != diskHits+1 {
 		t.Error("healed entry not served from the disk tier")
 	}
-	// The warm row matches the cold one modulo duration.
+	// The warm row matches the cold one modulo duration and the per-request
+	// trace ID (each response is stamped with its own serving request's).
 	res.DurationMS, res2.DurationMS = 0, 0
+	res.Trace, res2.Trace = "", ""
 	cold, _ := json.Marshal(res)
 	warm, _ := json.Marshal(res2)
 	if string(cold) != string(warm) {

@@ -30,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -88,9 +89,15 @@ type Config struct {
 	// journaling hook); calls are serialized.
 	OnResult func(batch.Result)
 	// Metrics is the registry behind /metrics and the server.* series; nil
-	// means the process default. Tracer observes analyses (nil-safe).
+	// means the process default. Tracer observes analyses (nil-safe); per
+	// request it is re-derived with the request's trace ID, so every span an
+	// analysis emits carries the trace ID the response echoed.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the serve
+	// mux. Off by default: the profiles expose process internals and cost
+	// CPU, so they are opt-in even on a loopback listener.
+	EnablePprof bool
 }
 
 func (c *Config) addr() string {
@@ -140,7 +147,6 @@ type Server struct {
 	cfg      Config
 	catalog  []*proofs.Analysis
 	byPair   map[string]*proofs.Analysis
-	runner   *batch.Runner
 	workers  chan struct{}
 	inSystem atomic.Int64 // requests admitted (waiting + running)
 	draining atomic.Bool
@@ -162,11 +168,7 @@ func New(cfg Config) *Server {
 	for _, a := range catalog {
 		byPair[a.Instruction+"/"+a.Operator] = a
 	}
-	runner := &batch.Runner{
-		Jobs: 1, Validate: cfg.Validate,
-		Tracer: cfg.Tracer, Metrics: cfg.Metrics,
-	}
-	s := &Server{cfg: cfg, catalog: catalog, byPair: byPair, runner: runner}
+	s := &Server{cfg: cfg, catalog: catalog, byPair: byPair}
 	s.workers = make(chan struct{}, workerCount(cfg.Jobs))
 	s.breakers.max = cfg.BreakerMax
 	s.breakers.metrics = s.metrics()
@@ -188,8 +190,10 @@ func (s *Server) metrics() *obs.Registry {
 	return obs.Default()
 }
 
-// Handler returns the service's HTTP handler with every route wired and
-// each work handler behind its own panic boundary.
+// Handler returns the service's HTTP handler with every route wired, each
+// work handler behind its own panic boundary, and the whole mux behind the
+// trace-ingress middleware (trace IDs, X-Trace-Id echo, request-latency
+// histograms).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -197,7 +201,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.metrics())
 	mux.HandleFunc("/analyze", s.guard("analyze", s.handleAnalyze))
 	mux.HandleFunc("/batch", s.guard("batch", s.handleBatch))
-	return mux
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withTrace(mux)
 }
 
 // guard wraps a work handler in a fault boundary: a panic out of the
@@ -244,8 +255,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // the queue position; callers must invoke it exactly once when ok.
 func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func(), ok bool) {
 	m := s.metrics()
+	tr := obs.TracerFrom(req.Context())
 	if s.draining.Load() {
 		m.Inc("server.refused", "draining")
+		tr.Event("server.admit", map[string]any{"decision": "refused", "reason": "draining"})
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return nil, false
 	}
@@ -253,13 +266,19 @@ func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func()
 	if s.inSystem.Add(1) > capacity {
 		s.inSystem.Add(-1)
 		m.Inc("server.shed", req.URL.Path)
+		tr.Event("server.admit", map[string]any{"decision": "shed"})
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "admission queue full")
 		return nil, false
 	}
 	m.Set("server.in_system", "requests", s.inSystem.Load())
+	queued := time.Now()
 	select {
 	case s.workers <- struct{}{}:
+		m.ObserveSince("server.queue_wait.ns", req.URL.Path, queued)
+		tr.Event("server.admit", map[string]any{
+			"decision": "admitted", "queue_wait_ns": time.Since(queued).Nanoseconds(),
+		})
 		return func() {
 			<-s.workers
 			s.inSystem.Add(-1)
@@ -267,11 +286,13 @@ func (s *Server) admit(w http.ResponseWriter, req *http.Request) (release func()
 	case <-req.Context().Done():
 		s.inSystem.Add(-1)
 		m.Inc("server.refused", "client-gone")
+		tr.Event("server.admit", map[string]any{"decision": "refused", "reason": "client-gone"})
 		writeError(w, http.StatusServiceUnavailable, "client went away while queued")
 		return nil, false
 	case <-s.workCtx.Done():
 		s.inSystem.Add(-1)
 		m.Inc("server.refused", "draining")
+		tr.Event("server.admit", map[string]any{"decision": "refused", "reason": "draining"})
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return nil, false
 	}
@@ -375,11 +396,18 @@ func (s *Server) report(res batch.Result) {
 }
 
 // runPair executes one analysis through the breaker and the batch fault
-// boundary, recording the outcome on the pair's breaker and the service-time
-// average. The binding comes back alongside the row (nil unless "ok") so
-// the caller can cache the full analysis product.
+// boundary, recording the outcome on the pair's breaker, the service-time
+// average, and the per-(machine, instruction) service histogram. The engine
+// run is bounded by a server.engine span on the request's tracer, so every
+// span the analysis emits nests under the request's trace. The binding comes
+// back alongside the row (nil unless "ok") so the caller can cache the full
+// analysis product.
 func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) (batch.Result, *core.Binding) {
 	m := s.metrics()
+	tr := obs.TracerFrom(ctx)
+	if tr == nil {
+		tr = s.cfg.Tracer
+	}
 	key := a.Machine + "/" + a.Instruction
 	threshold := s.cfg.breakerThreshold()
 	var br *breaker
@@ -387,12 +415,25 @@ func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) (batch.Result,
 		br = s.breakers.get(key)
 		if cached, open := br.admit(time.Now(), s.cfg.breakerCooldown()); open {
 			m.Inc("server.breaker_fastpath", key)
+			tr.Event("server.breaker", map[string]any{"pair": key, "decision": "fastpath"})
 			return cached, nil
 		}
 	}
+	// A per-call runner, so the engine runs under the request's derived
+	// tracer: its spans carry this request's trace ID, not the root's.
+	runner := &batch.Runner{Jobs: 1, Validate: s.cfg.Validate, Tracer: tr, Metrics: s.cfg.Metrics}
+	var sp obs.Span
+	if tr.Enabled() {
+		sp = tr.StartSpan("server.engine", map[string]any{"pair": a.Instruction + "/" + a.Operator})
+	}
 	start := time.Now()
-	res, bound := s.runner.RunOneBound(ctx, a)
-	s.observeService(time.Since(start))
+	res, bound := runner.RunOneBound(ctx, a)
+	elapsed := time.Since(start)
+	if tr.Enabled() {
+		sp.End(map[string]any{"outcome": res.Outcome})
+	}
+	s.observeService(elapsed)
+	m.Observe("server.service.ns", key, uint64(elapsed))
 	if br != nil {
 		if br.record(res, threshold, time.Now()) {
 			m.Inc("server.breaker_trip", key)
@@ -403,7 +444,13 @@ func (s *Server) runPair(ctx context.Context, a *proofs.Analysis) (batch.Result,
 }
 
 // writeResult serializes one analysis row with its outcome-derived status.
-func (s *Server) writeResult(w http.ResponseWriter, res batch.Result) {
+// A row without a trace ID — a warm cache hit, a breaker's cached failure —
+// is stamped with the *serving* request's ID, so the response body always
+// joins against the trace the response headers name.
+func (s *Server) writeResult(w http.ResponseWriter, req *http.Request, res batch.Result) {
+	if res.Trace == "" {
+		res.Trace = obs.TraceIDFrom(req.Context())
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if res.Outcome == "circuit-open" {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.breakerCooldown()/time.Second)+1))
@@ -462,15 +509,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		return // admission already answered
 	}
 	m.Inc("server.outcome", res.Outcome)
-	s.writeResult(w, res)
+	s.writeResult(w, req, res)
 }
 
 // analyzeCached is the cache-fronted /analyze path: a warm hit or a
 // coalesced duplicate is served without admission; only the coalescing
-// leader pays for admission and the engine run.
+// leader pays for admission and the engine run. The cache outcome is
+// exported as an X-Cache header ("miss"/"hit"/"hit-disk"/"coalesced") and a
+// server.cache trace event, so clients and the load generator can separate
+// warm serving from engine-priced coalesced waits.
 func (s *Server) analyzeCached(w http.ResponseWriter, req *http.Request, a *proofs.Analysis, key cache.Key, d time.Duration) {
 	m := s.metrics()
-	ent, shared, err := s.cfg.Cache.Do(req.Context(), key, func() (cache.Entry, bool) {
+	tr := obs.TracerFrom(req.Context())
+	ent, out, err := s.cfg.Cache.Do(req.Context(), key, func() (cache.Entry, bool) {
 		release, ok := s.admit(w, req)
 		if !ok {
 			return cache.Entry{}, false
@@ -487,11 +538,13 @@ func (s *Server) analyzeCached(w http.ResponseWriter, req *http.Request, a *proo
 		}
 		return e, true
 	})
+	tr.Event("server.cache", map[string]any{"outcome": out.String()})
 	switch {
 	case err == nil:
+		w.Header().Set("X-Cache", out.String())
 		m.Inc("server.outcome", ent.Result.Outcome)
-		s.writeResult(w, ent.Result)
-	case errors.Is(err, cache.ErrNoResult) && !shared:
+		s.writeResult(w, req, ent.Result)
+	case errors.Is(err, cache.ErrNoResult) && !out.Shared():
 		// This request was the leader and admission already wrote its 429/503.
 	case errors.Is(err, cache.ErrNoResult):
 		// Coalesced onto a leader that was shed: shed this request too.
@@ -591,10 +644,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			}
 		}
 	}
+	tr := obs.TracerFrom(req.Context())
+	if tr == nil {
+		tr = s.cfg.Tracer
+	}
 	r := &batch.Runner{
 		Jobs: cap(s.workers), Validate: validate, EachTimeout: each,
 		Completed: completed,
-		Tracer:    s.cfg.Tracer, Metrics: s.cfg.Metrics,
+		Tracer:    tr, Metrics: s.cfg.Metrics,
 		OnResult: func(res batch.Result) {
 			if threshold > 0 {
 				key := res.Machine + "/" + res.Instruction

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extra/internal/batch"
+	"extra/internal/cache"
+	"extra/internal/obs"
+)
+
+// TestTraceEndToEnd is the acceptance test for request tracing: one request
+// against a traced server yields (1) an X-Trace-Id response header, (2) the
+// same ID on the response row, and (3) a JSONL-style span stream in which
+// the ingress span, admission event, cache event, engine span, and the
+// engine's own session spans all carry that ID.
+func TestTraceEndToEnd(t *testing.T) {
+	sink := &obs.MemSink{}
+	ch, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(sink), Cache: ch})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/analyze?pair=scasb/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if !obs.ValidTraceID(id) {
+		t.Fatalf("response lacks a valid X-Trace-Id: %q", id)
+	}
+	var row batch.Result
+	if err := json.NewDecoder(resp.Body).Decode(&row); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if row.Trace != id {
+		t.Errorf("row trace %q, header trace %q — they must agree", row.Trace, id)
+	}
+
+	// The span stream: every layer of this request stamped with its ID.
+	names := map[string]bool{}
+	for _, e := range sink.Events() {
+		if e.Trace == id {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"server.request", "server.admit", "server.cache", "server.engine"} {
+		if !names[want] {
+			t.Errorf("no %s event carries trace %s (got %v)", want, id, names)
+		}
+	}
+	// The engine's own spans (session/transform machinery) must also carry
+	// it — that is the point of deriving the tracer per request.
+	engineSpans := 0
+	for _, e := range sink.Events() {
+		if e.Trace == id && !strings.HasPrefix(e.Name, "server.") {
+			engineSpans++
+		}
+	}
+	if engineSpans == 0 {
+		t.Error("no engine-level span carries the request's trace ID")
+	}
+
+	// A second identical request is a warm hit: its *own* trace ID appears
+	// on the response, and the row is re-stamped with it.
+	resp2, err := ts.Client().Get(ts.URL + "/analyze?pair=scasb/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2 := resp2.Header.Get("X-Trace-Id")
+	if resp2.Header.Get("X-Cache") == "" {
+		t.Error("warm response lacks the X-Cache header")
+	}
+	var row2 batch.Result
+	if err := json.NewDecoder(resp2.Body).Decode(&row2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id2 == id {
+		t.Error("two requests share one trace ID")
+	}
+	if row2.Trace != id2 {
+		t.Errorf("warm row trace %q, want the serving request's %q", row2.Trace, id2)
+	}
+}
+
+// TestTraceHeadersHonored: an incoming traceparent (and, failing that,
+// X-Request-Id) names the trace; hostile or malformed values are replaced
+// with a minted ID rather than echoed.
+func TestTraceHeadersHonored(t *testing.T) {
+	s := New(Config{Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(hdr, val string) string {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if hdr != "" {
+			req.Header.Set(hdr, val)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get("X-Trace-Id")
+	}
+
+	if got := get("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("traceparent not honored: got %q", got)
+	}
+	if got := get("X-Request-Id", "req-42_abc"); got != "req-42_abc" {
+		t.Errorf("X-Request-Id not honored: got %q", got)
+	}
+	// Go's client rejects raw newlines outright, so probe with values that
+	// pass HTTP but fail the trace-ID charset (spaces, quotes, semicolons).
+	for _, hostile := range []string{`spaces are bad`, `quo"te`, `semi;colon`, strings.Repeat("x", 65)} {
+		got := get("X-Request-Id", hostile)
+		if got == hostile || !obs.ValidTraceID(got) {
+			t.Errorf("hostile X-Request-Id %q: response trace %q (want a minted replacement)", hostile, got)
+		}
+	}
+	if got := get("", ""); !obs.ValidTraceID(got) {
+		t.Errorf("no incoming header: minted ID %q invalid", got)
+	}
+}
+
+// TestMetricsProm: the /metrics endpoint negotiates the Prometheus text
+// exposition via ?format=prom and via Accept, keeps JSON the default, and
+// sets cache-defeating headers either way.
+func TestMetricsProm(t *testing.T) {
+	m := obs.NewRegistry()
+	s := New(Config{Metrics: m})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, res := getResult(t, ts.Client(), ts.URL+"/analyze?pair=locc/indexc"); res.Outcome != "ok" {
+		t.Fatalf("warmup analysis: %s (%s)", res.Outcome, res.Error)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom Content-Type %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control %q, want no-store", cc)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE server_requests counter",
+		`server_requests{label="/analyze"}`,
+		"# TYPE server_latency_ns summary",
+		`quantile="0.5"`,
+		`quantile="0.99"`,
+		"runtime_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition lacks %q", want)
+		}
+	}
+	// Non-zero quantile series for the endpoint histogram — the SLO series
+	// a scraper alerts on.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `server_latency_ns{label="/analyze",quantile="0.5"}`) {
+			f := strings.Fields(line)
+			if len(f) != 2 || f[1] == "0" {
+				t.Errorf("p50 series is zero or malformed: %q", line)
+			}
+		}
+	}
+
+	// Accept negotiation: a Prometheus-style Accept gets the exposition.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body2), "# TYPE") {
+		t.Error("Accept-negotiated scrape did not get the Prometheus exposition")
+	}
+
+	// The default stays JSON (existing dashboards and CI greps).
+	resp3, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default /metrics Content-Type %q, want JSON", ct)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp3.Body).Decode(&doc); err != nil {
+		t.Errorf("default /metrics is not JSON: %v", err)
+	}
+}
+
+// TestHealthzExcludedFromLatency: the health probes must not pollute the
+// request-latency histograms — a load balancer polling /healthz at 10 Hz
+// would otherwise drag every percentile toward zero.
+func TestHealthzExcludedFromLatency(t *testing.T) {
+	m := obs.NewRegistry()
+	s := New(Config{Metrics: m})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		for _, p := range []string{"/healthz", "/readyz"} {
+			resp, err := ts.Client().Get(ts.URL + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if _, res := getResult(t, ts.Client(), ts.URL+"/analyze?pair=locc/indexc"); res.Outcome != "ok" {
+		t.Fatalf("analysis: %s (%s)", res.Outcome, res.Error)
+	}
+	snap := m.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Metric != "server.latency.ns" {
+			continue
+		}
+		if h.Label == "/healthz" || h.Label == "/readyz" {
+			t.Errorf("health probe %s leaked into server.latency.ns", h.Label)
+		}
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Metric == "server.latency.ns" && h.Label == "/analyze" && h.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no server.latency.ns histogram for /analyze")
+	}
+	// The per-pair service histogram exists too.
+	foundSvc := false
+	for _, h := range snap.Histograms {
+		if h.Metric == "server.service.ns" && strings.Contains(h.Label, "locc") && h.Count >= 1 {
+			foundSvc = true
+		}
+	}
+	if !foundSvc {
+		t.Error("no server.service.ns histogram for the executed pair")
+	}
+}
+
+// TestPprofGated: /debug/pprof/ is a 404 by default and serves when enabled.
+func TestPprofGated(t *testing.T) {
+	off := httptest.NewServer(New(Config{Metrics: obs.NewRegistry()}).Handler())
+	defer off.Close()
+	resp, err := off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(Config{Metrics: obs.NewRegistry(), EnablePprof: true}).Handler())
+	defer on.Close()
+	resp2, err := on.Client().Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof on: status %d", resp2.StatusCode)
+	}
+}
