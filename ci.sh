@@ -114,4 +114,66 @@ test "$PARTIAL" -ge 3
 sed 's/"duration_ms":[0-9]*/"duration_ms":0/; s/"trace":"[^"]*"/"trace":""/' "$CKPT_DIR/ref.jsonl" > "$CKPT_DIR/ref.norm"
 sed 's/"duration_ms":[0-9]*/"duration_ms":0/; s/"trace":"[^"]*"/"trace":""/' "$CKPT_DIR/journal.jsonl" > "$CKPT_DIR/journal.norm"
 diff "$CKPT_DIR/ref.norm" "$CKPT_DIR/journal.norm"
-rm -rf "$CKPT_DIR" /tmp/extra_ci
+rm -rf "$CKPT_DIR"
+
+# Gateway chaos stage: boot the shard gateway over three supervised workers,
+# prove the merged /batch report is byte-identical (modulo durations and
+# trace IDs) to a single-process run, then kill -9 one worker mid-loadgen
+# and still gate on zero 5xx — failover and hedging must absorb the crash.
+# The supervisor must restart the killed worker, and SIGTERM must drain the
+# whole fleet to a clean exit 0.
+GW_DIR=$(mktemp -d)
+/tmp/extra_ci gateway -addr 127.0.0.1:0 -workers 3 -validate 2000 \
+  >"$GW_DIR/gw.log" 2>"$GW_DIR/gw.err" &
+GW_PID=$!
+GW_ADDR=""
+for _ in $(seq 1 200); do
+  GW_ADDR=$(sed -n 's/^gateway serving on //p' "$GW_DIR/gw.log")
+  if [ -n "$GW_ADDR" ] && curl -fsS "http://$GW_ADDR/readyz" 2>/dev/null | grep -q ready; then break; fi
+  GW_ADDR=""
+  sleep 0.1
+done
+test -n "$GW_ADDR"
+# Reference single-process worker for the merged-report equivalence check.
+/tmp/extra_ci serve -addr 127.0.0.1:0 -validate 2000 >"$GW_DIR/ref.log" &
+REF_PID=$!
+REF_ADDR=""
+for _ in $(seq 1 100); do
+  REF_ADDR=$(sed -n 's/^serving on //p' "$GW_DIR/ref.log")
+  if [ -n "$REF_ADDR" ]; then break; fi
+  sleep 0.1
+done
+test -n "$REF_ADDR"
+BATCH_BODY='{"pairs":["scasb/index","locc/indexc","mvc/sassign","cmpsb/scompare"],"validate":50}'
+curl -fsS -X POST -d "$BATCH_BODY" "http://$GW_ADDR/batch" >"$GW_DIR/merged.json"
+curl -fsS -X POST -d "$BATCH_BODY" "http://$REF_ADDR/batch" >"$GW_DIR/single.json"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/g; s/"total_duration_ms": *[0-9]*/"total_duration_ms": 0/g; s/"trace": *"[^"]*"/"trace": ""/g' "$GW_DIR/merged.json" > "$GW_DIR/merged.norm"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/g; s/"total_duration_ms": *[0-9]*/"total_duration_ms": 0/g; s/"trace": *"[^"]*"/"trace": ""/g' "$GW_DIR/single.json" > "$GW_DIR/single.norm"
+diff "$GW_DIR/merged.norm" "$GW_DIR/single.norm"
+kill -TERM "$REF_PID"
+wait "$REF_PID"
+# Chaos: kill -9 one worker two seconds into the measured load (duration-
+# bound, so the kill is guaranteed to land mid-run); routing must fail over
+# with zero 5xx, and warm hits must still beat cold misses. The victim is
+# picked from the gateway's *own* children — a stale fleet from an earlier
+# run must never satisfy this stage.
+/tmp/extra_ci loadgen -url "http://$GW_ADDR" -duration 8s \
+  -concurrency 1 -warm-frac 0.8 -seed 1 -bench \
+  -slo-max-5xx 0 -slo-warm-p99-lt-cold-p50 \
+  >"$GW_DIR/bench.txt" 2>"$GW_DIR/loadgen.err" &
+LG_PID=$!
+sleep 2
+VICTIM=$(pgrep -P "$GW_PID" | head -1)
+test -n "$VICTIM"
+kill -9 "$VICTIM"
+wait "$LG_PID"
+cat "$GW_DIR/loadgen.err"
+go run ./cmd/benchjson -o BENCH_PR7.json <"$GW_DIR/bench.txt"
+test -s BENCH_PR7.json
+grep -q 'ServeWarm' BENCH_PR7.json
+# The supervisor must have logged the restart in the merged metrics.
+curl -fsS "http://$GW_ADDR/metrics" | grep -q '"gateway.restarts"'
+kill -TERM "$GW_PID"
+wait "$GW_PID"
+grep -q 'gateway drained:' "$GW_DIR/gw.log"
+rm -rf "$GW_DIR" /tmp/extra_ci

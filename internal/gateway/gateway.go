@@ -1,0 +1,825 @@
+// Package gateway is the fault-tolerant front of the horizontally scaled
+// analysis service: one process that supervises N `extra serve` workers and
+// absorbs their failures so clients never see them.
+//
+//	POST /analyze?pair=INS/OP   routed to the pair's home shard, hedged, failed over
+//	POST /batch                 rows fanned out per shard, merged into one report
+//	GET  /healthz               gateway liveness
+//	GET  /readyz                503 once draining or when no live shard remains
+//	GET  /metrics               the fleet: gateway registry + every worker's, merged
+//
+// Routing is rendezvous (highest-random-weight) hashing on the
+// content-addressed cache digest (internal/cache.Key) of each pair's
+// resolved descriptions — the same key the result cache uses — so a pair
+// always lands on the shard whose cache tier it warmed, and removing a
+// shard remaps only that shard's slice. Each worker is health-probed
+// (/readyz) continuously; a crashed worker is restarted with exponential
+// backoff and marked dead after a burst of rapid failures (crash loop). A
+// request that outlives its shard's p99 EWMA latency estimate is hedged
+// against the next-ranked shard — first response wins, the loser is
+// canceled. A transport failure fails over to the next live shard; only
+// when no live shard remains does the client see 503 + Retry-After.
+// Responses carry X-Shard-Id, and trace identity (traceparent /
+// X-Request-Id) is forwarded downstream so span trees stitch across
+// processes.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/cache"
+	"extra/internal/obs"
+	"extra/internal/proofs"
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Addr is the gateway's listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Workers is the supervised worker count; WorkerCommand builds each
+	// worker's command (its stdout must print the `serving on ADDR` line;
+	// the supervisor attaches the pipe itself, so leave Stdout unset).
+	Workers       int
+	WorkerCommand func(id int) *exec.Cmd
+	// StaticShards routes to already-running workers ("host:port") instead
+	// of supervising any. Mutually exclusive with Workers.
+	StaticShards []string
+	// Validate is the differential-validation count the workers run with;
+	// it is folded into the routing keys so they match the workers' cache
+	// keys exactly.
+	Validate int
+	// Catalog is the routed analysis set; nil means Table2 + Extensions.
+	Catalog []*proofs.Analysis
+	// ProbeInterval is the /readyz poll cadence (default 250ms);
+	// ProbeTimeout bounds each probe and each /metrics scrape (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// BackoffBase is the first restart delay, doubling per consecutive
+	// rapid failure up to BackoffMax (defaults 100ms, 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CrashLoopBurst marks a shard dead after this many consecutive exits
+	// within RapidWindow of their start (defaults 5, 3s).
+	CrashLoopBurst int
+	RapidWindow    time.Duration
+	// HedgeFloor is the minimum hedge delay (default 2ms — below that the
+	// hedge would race every warm hit); HedgeDefault arms the timer before
+	// a shard has enough samples for an estimate (default 250ms).
+	HedgeFloor   time.Duration
+	HedgeDefault time.Duration
+	// DrainTimeout bounds each worker's graceful drain on shutdown
+	// (default 15s).
+	DrainTimeout time.Duration
+	// Metrics receives the gateway.* series; nil means the process default.
+	Metrics *obs.Registry
+	// Client issues the proxied requests; nil means a keep-alive client
+	// with no global timeout (requests are context-bounded).
+	Client *http.Client
+	// Logf receives supervision events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) addr() string {
+	if c.Addr == "" {
+		return "127.0.0.1:0"
+	}
+	return c.Addr
+}
+
+func (c *Config) probeInterval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.ProbeInterval
+}
+
+func (c *Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.ProbeTimeout
+}
+
+func (c *Config) backoffBase() time.Duration {
+	if c.BackoffBase <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.BackoffBase
+}
+
+func (c *Config) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 5 * time.Second
+	}
+	return c.BackoffMax
+}
+
+func (c *Config) crashLoopBurst() int {
+	if c.CrashLoopBurst <= 0 {
+		return 5
+	}
+	return c.CrashLoopBurst
+}
+
+func (c *Config) rapidWindow() time.Duration {
+	if c.RapidWindow <= 0 {
+		return 3 * time.Second
+	}
+	return c.RapidWindow
+}
+
+func (c *Config) hedgeFloor() time.Duration {
+	if c.HedgeFloor <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.HedgeFloor
+}
+
+func (c *Config) hedgeDefault() time.Duration {
+	if c.HedgeDefault <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.HedgeDefault
+}
+
+func (c *Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+// Gateway is the shard router + supervisor. Create with New, serve with
+// Run.
+type Gateway struct {
+	cfg      Config
+	catalog  []*proofs.Analysis
+	byPair   map[string]*proofs.Analysis
+	pairs    []string // catalog order
+	shards   []*shard
+	client   *http.Client
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Gateway over cfg. It errors on a contradictory shard
+// topology rather than failing late.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.StaticShards) > 0 && cfg.Workers > 0 {
+		return nil, errors.New("gateway: Workers and StaticShards are mutually exclusive")
+	}
+	n := cfg.Workers
+	if len(cfg.StaticShards) > 0 {
+		n = len(cfg.StaticShards)
+	}
+	if n <= 0 {
+		return nil, errors.New("gateway: need Workers >= 1 or at least one static shard")
+	}
+	if cfg.Workers > 0 && cfg.WorkerCommand == nil {
+		return nil, errors.New("gateway: Workers set without a WorkerCommand")
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = append(proofs.Table2(), proofs.Extensions()...)
+	}
+	g := &Gateway{cfg: cfg, catalog: catalog, byPair: map[string]*proofs.Analysis{}}
+	for _, a := range catalog {
+		p := a.Instruction + "/" + a.Operator
+		g.byPair[p] = a
+		g.pairs = append(g.pairs, p)
+	}
+	for i := 0; i < n; i++ {
+		g.shards = append(g.shards, &shard{id: i, name: strconv.Itoa(i)})
+	}
+	g.client = cfg.Client
+	if g.client == nil {
+		g.client = &http.Client{}
+	}
+	return g, nil
+}
+
+func (g *Gateway) metrics() *obs.Registry {
+	if g.cfg.Metrics != nil {
+		return g.cfg.Metrics
+	}
+	return obs.Default()
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// liveShards counts routable shards.
+func (g *Gateway) liveShards() int {
+	n := 0
+	for _, sh := range g.shards {
+		if sh.getState() == shardUp {
+			n++
+		}
+	}
+	return n
+}
+
+// routeKey is the rendezvous input for a pair: the content-addressed cache
+// digest of its resolved descriptions when the corpora know them (so
+// routing and caching share a key space and each worker's cache tier stays
+// hot for its slice), the raw pair string otherwise.
+func (g *Gateway) routeKey(pair string) []byte {
+	if a, ok := g.byPair[pair]; ok {
+		if k, cacheable := cache.KeyFor(a, g.cfg.Validate); cacheable {
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[0:8], k.Digest.Hi)
+			binary.BigEndian.PutUint64(b[8:16], k.Digest.Lo)
+			return b[:]
+		}
+	}
+	return []byte(pair)
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/analyze", g.work(g.handleAnalyze))
+	mux.HandleFunc("/batch", g.work(g.handleBatch))
+	return mux
+}
+
+// work wraps a proxy handler with the ingress concerns: trace identity
+// (honored or minted, echoed as X-Trace-Id, forwarded downstream),
+// draining refusal, and the gateway latency/status series.
+func (g *Gateway) work(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		m := g.metrics()
+		m.Inc("gateway.requests", req.URL.Path)
+		id := traceIDFor(req)
+		w.Header().Set("X-Trace-Id", id)
+		req = req.WithContext(obs.WithTraceID(req.Context(), id))
+		if g.draining.Load() {
+			m.Inc("gateway.refused", "draining")
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		start := time.Now()
+		h(w, req)
+		m.Observe("gateway.latency.ns", req.URL.Path, uint64(time.Since(start)))
+	}
+}
+
+// traceIDFor mirrors the worker's ingress rule (traceparent outranks
+// X-Request-Id, hostile values are replaced) so the ID the gateway echoes
+// is the ID every downstream span carries.
+func traceIDFor(req *http.Request) string {
+	if tp := req.Header.Get("traceparent"); tp != "" {
+		if id, ok := obs.ParseTraceparent(tp); ok {
+			return id
+		}
+	}
+	if id := req.Header.Get("X-Request-Id"); obs.ValidTraceID(id) {
+		return id
+	}
+	return obs.NewTraceID()
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// noLiveShard answers the only failure the gateway cannot absorb: every
+// shard down or dead. Retry-After is the restart backoff floor — the
+// supervisor is already bringing a worker back.
+func (g *Gateway) noLiveShard(w http.ResponseWriter) {
+	g.metrics().Inc("gateway.no_live_shard", "")
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no live shard")
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case g.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case g.liveShards() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no live shards")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// attemptResult is one proxied try: either a fully-buffered response or a
+// transport error.
+type attemptResult struct {
+	shard   *shard
+	status  int
+	header  http.Header
+	body    []byte
+	err     error
+	hedged  bool
+	elapsed time.Duration
+}
+
+// attempt forwards req to one shard and buffers the whole response.
+// Response bodies here are analysis rows or batch reports — small JSON —
+// so buffering is what makes first-response-wins and loser-cancellation
+// trivially leak-free.
+func (g *Gateway) attempt(ctx context.Context, sh *shard, req *http.Request, body []byte, hedged bool) *attemptResult {
+	res := &attemptResult{shard: sh, hedged: hedged}
+	out, err := http.NewRequestWithContext(ctx, req.Method, sh.base()+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if tp := req.Header.Get("traceparent"); tp != "" {
+		out.Header.Set("traceparent", tp)
+	}
+	out.Header.Set("X-Request-Id", obs.TraceIDFrom(ctx))
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	start := time.Now()
+	resp, err := g.client.Do(out)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.status = resp.StatusCode
+	res.header = resp.Header
+	res.body = b
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// hedgeDelay is how long to wait on a shard before hedging: its p99 EWMA
+// estimate, floored (a sub-millisecond estimate from warm hits must not
+// hedge every cold run), or the cold-start default before enough samples.
+func (g *Gateway) hedgeDelay(sh *shard) time.Duration {
+	d, ok := sh.lat.p99()
+	if !ok {
+		return g.cfg.hedgeDefault()
+	}
+	if floor := g.cfg.hedgeFloor(); d < floor {
+		return floor
+	}
+	return d
+}
+
+// proxyHedged runs the hedged-failover state machine over the ranked live
+// shards: launch the home shard; if its response outlives the hedge delay,
+// launch the next shard too (first response wins, the loser's context is
+// canceled); if an attempt fails at the transport level, mark that shard
+// down and fail over to the next. Returns nil when every shard was
+// exhausted or the client went away.
+func (g *Gateway) proxyHedged(req *http.Request, order []*shard, body []byte) *attemptResult {
+	m := g.metrics()
+	ctx := req.Context()
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel() // cancels the loser and any still-running attempts
+	results := make(chan *attemptResult, len(order))
+	next, inflight := 0, 0
+	launch := func(hedged bool) bool {
+		if next >= len(order) {
+			return false
+		}
+		sh := order[next]
+		next++
+		inflight++
+		go func() { results <- g.attempt(actx, sh, req, body, hedged) }()
+		return true
+	}
+	launch(false)
+	hedgeFired := false
+	var hedgec <-chan time.Time
+	if len(order) > 1 {
+		t := time.NewTimer(g.hedgeDelay(order[0]))
+		defer t.Stop()
+		hedgec = t.C
+	}
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				res.shard.lat.observe(res.elapsed)
+				if res.hedged {
+					m.Inc("gateway.hedge", "won")
+				} else if hedgeFired {
+					m.Inc("gateway.hedge", "lost")
+				}
+				return res
+			}
+			if ctx.Err() != nil {
+				return nil // the client went away; the error is its own
+			}
+			// Transport failure: the shard is gone (crashed, mid-restart).
+			// Take it out of the ring now — the probe loop will readmit it —
+			// and fail over.
+			if res.shard.markDown() {
+				m.Set("gateway.up", res.shard.name, 0)
+			}
+			m.Inc("gateway.failover", res.shard.name)
+			g.logf("gateway: shard %s: %s failed (%v), failing over", res.shard.name, req.URL.Path, res.err)
+			if inflight == 0 && !launch(res.hedged) {
+				return nil
+			}
+		case <-hedgec:
+			hedgec = nil
+			if launch(true) {
+				hedgeFired = true
+				m.Inc("gateway.hedge", "fired")
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}
+
+// handleAnalyze routes one analysis to its home shard with hedging and
+// failover, then relays the winning response verbatim plus X-Shard-Id.
+func (g *Gateway) handleAnalyze(w http.ResponseWriter, req *http.Request) {
+	pair := req.URL.Query().Get("pair")
+	order := rank(g.shards, g.routeKey(pair))
+	if len(order) == 0 {
+		g.noLiveShard(w)
+		return
+	}
+	res := g.proxyHedged(req, order, nil)
+	if res == nil {
+		if req.Context().Err() != nil {
+			g.metrics().Inc("gateway.refused", "client-gone")
+			writeError(w, http.StatusServiceUnavailable, "client went away")
+			return
+		}
+		g.noLiveShard(w)
+		return
+	}
+	g.relay(w, res)
+}
+
+// relay writes one buffered worker response to the client, stamped with
+// the shard that produced it.
+func (g *Gateway) relay(w http.ResponseWriter, res *attemptResult) {
+	for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Shard-Id", res.shard.name)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// gatewayBatchRequest mirrors the worker's /batch body.
+type gatewayBatchRequest struct {
+	Pairs    []string `json:"pairs,omitempty"`
+	Validate int      `json:"validate,omitempty"`
+	Timeout  string   `json:"timeout,omitempty"`
+}
+
+// batchReport is the part of the worker's /batch response the merge needs.
+type batchReport struct {
+	Results []batch.Result `json:"results"`
+}
+
+// retryableStatus reports whether a sub-batch response status means "try
+// another shard": the worker was draining, overloaded, or a stale proxy —
+// not a verdict on the rows themselves.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable
+}
+
+// handleBatch fans a catalog subset out to each pair's home shard, merges
+// the sub-reports back into one canonical report (rows in request order,
+// summary recomputed), and reassigns a failed shard's slice to the
+// surviving shards. The merged document is byte-identical to a
+// single-process run over the same pairs, modulo durations and trace IDs.
+func (g *Gateway) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var breq gatewayBatchRequest
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &breq); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	pairs := breq.Pairs
+	if len(pairs) == 0 {
+		pairs = g.pairs
+	}
+	for _, p := range pairs {
+		if _, ok := g.byPair[p]; !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("no analysis %q in the catalog", p))
+			return
+		}
+	}
+	m := g.metrics()
+	rows := map[string]batch.Result{}
+	servedBy := map[string]bool{}
+	excluded := map[int]bool{}
+	pending := pairs
+	for len(pending) > 0 {
+		groups := map[*shard][]string{}
+		for _, p := range pending {
+			order := g.rankExcluding(g.routeKey(p), excluded)
+			if len(order) == 0 {
+				g.noLiveShard(w)
+				return
+			}
+			groups[order[0]] = append(groups[order[0]], p)
+		}
+		pending = nil
+		type subResult struct {
+			sh    *shard
+			pairs []string
+			res   *attemptResult
+		}
+		resc := make(chan subResult, len(groups))
+		for sh, ps := range groups {
+			go func(sh *shard, ps []string) {
+				body, _ := json.Marshal(gatewayBatchRequest{Pairs: ps, Validate: breq.Validate, Timeout: breq.Timeout})
+				resc <- subResult{sh: sh, pairs: ps, res: g.attempt(req.Context(), sh, req, body, false)}
+			}(sh, ps)
+		}
+		for range groups {
+			sub := <-resc
+			switch {
+			case sub.res.err != nil:
+				if req.Context().Err() != nil {
+					writeError(w, http.StatusServiceUnavailable, "client went away")
+					return
+				}
+				if sub.res.shard.markDown() {
+					m.Set("gateway.up", sub.res.shard.name, 0)
+				}
+				m.Inc("gateway.failover", sub.res.shard.name)
+				excluded[sub.sh.id] = true
+				pending = append(pending, sub.pairs...)
+			case retryableStatus(sub.res.status):
+				// The shard answered but refused the slice (draining, shed):
+				// leave its health to the prober, just route around it.
+				m.Inc("gateway.failover", sub.res.shard.name)
+				excluded[sub.sh.id] = true
+				pending = append(pending, sub.pairs...)
+			case sub.res.status != http.StatusOK:
+				// A verdict (400, 500): relay it rather than guessing.
+				g.relay(w, sub.res)
+				return
+			default:
+				var rep batchReport
+				if err := json.Unmarshal(sub.res.body, &rep); err != nil {
+					writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: bad report: %v", sub.sh.name, err))
+					return
+				}
+				for i := range rep.Results {
+					rows[rep.Results[i].Pair()] = rep.Results[i]
+				}
+				servedBy[sub.sh.name] = true
+			}
+		}
+	}
+	merged := make([]batch.Result, 0, len(pairs))
+	for _, p := range pairs {
+		row, ok := rows[p]
+		if !ok {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("no shard returned a row for %q", p))
+			return
+		}
+		merged = append(merged, row)
+	}
+	names := make([]string, 0, len(servedBy))
+	for n := range servedBy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Shard-Id", strings.Join(names, ","))
+	batch.WriteJSON(w, merged)
+}
+
+// rankExcluding is rank minus the shards this request already gave up on.
+func (g *Gateway) rankExcluding(key []byte, excluded map[int]bool) []*shard {
+	order := rank(g.shards, key)
+	if len(excluded) == 0 {
+		return order
+	}
+	kept := order[:0]
+	for _, sh := range order {
+		if !excluded[sh.id] {
+			kept = append(kept, sh)
+		}
+	}
+	return kept
+}
+
+// handleMetrics serves the fleet view: the gateway's own registry merged
+// with every reachable worker's scraped snapshot, in the same
+// content-negotiated JSON/Prometheus encodings as a single worker.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	m := g.metrics()
+	m.SampleRuntime()
+	snaps := []obs.Snapshot{m.Snapshot()}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, sh := range g.shards {
+		base := sh.base()
+		if base == "" || sh.getState() == shardDead {
+			continue
+		}
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), g.cfg.probeTimeout())
+			defer cancel()
+			sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics?format=json", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.client.Do(sreq)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var snap obs.Snapshot
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snap) == nil {
+				mu.Lock()
+				snaps = append(snaps, snap)
+				mu.Unlock()
+			}
+		}(base)
+	}
+	wg.Wait()
+	merged := obs.MergeSnapshots(snaps...)
+	w.Header().Set("Cache-Control", "no-store")
+	if obs.WantsProm(req) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		merged.WriteProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	merged.WriteJSON(w)
+}
+
+// probeLoop polls every routable shard's /readyz on the probe cadence.
+func (g *Gateway) probeLoop(ctx context.Context) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.probeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var wg sync.WaitGroup
+			for _, sh := range g.shards {
+				if sh.base() == "" || sh.getState() == shardDead {
+					continue
+				}
+				wg.Add(1)
+				go func(sh *shard) {
+					defer wg.Done()
+					g.probeShard(sh)
+				}(sh)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// probeShard asks one worker's /readyz and moves the shard between up and
+// down accordingly.
+func (g *Gateway) probeShard(sh *shard) {
+	base := sh.base()
+	if base == "" || sh.getState() == shardDead {
+		return
+	}
+	m := g.metrics()
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil && resp.StatusCode == http.StatusOK {
+		if sh.markUp() {
+			m.Set("gateway.up", sh.name, 1)
+			g.logf("gateway: shard %s: ready at %s", sh.name, base)
+		}
+		return
+	}
+	if sh.markDown() {
+		m.Set("gateway.up", sh.name, 0)
+		g.logf("gateway: shard %s: readyz probe failed", sh.name)
+	}
+}
+
+// Run listens on cfg.Addr, boots and supervises the worker fleet, reports
+// the bound address through ready (which may be nil), serves until ctx is
+// cancelled, then drains: readiness flips, every worker is SIGTERMed and
+// drains gracefully (bounded by DrainTimeout), and a clean fleet shutdown
+// returns nil.
+func (g *Gateway) Run(ctx context.Context, ready func(net.Addr)) error {
+	lis, err := net.Listen("tcp", g.cfg.addr())
+	if err != nil {
+		return err
+	}
+	m := g.metrics()
+	supCtx, supStop := context.WithCancel(context.Background())
+	defer supStop()
+	for i, sh := range g.shards {
+		if len(g.cfg.StaticShards) > 0 {
+			sh.setAddr("http://"+g.cfg.StaticShards[i], 0)
+			g.probeShard(sh)
+			continue
+		}
+		m.Set("gateway.up", sh.name, 0)
+		g.wg.Add(1)
+		go g.superviseLoop(supCtx, sh)
+	}
+	g.wg.Add(1)
+	go g.probeLoop(supCtx)
+
+	hs := &http.Server{Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	m.Set("gateway.listening", "", 1)
+	if ready != nil {
+		ready(lis.Addr())
+	}
+	select {
+	case err := <-errc:
+		supStop()
+		g.wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: flip readiness first so load balancers stop sending, then
+	// SIGTERM the fleet — each worker runs its own graceful drain, which
+	// completes the requests the gateway still has in flight.
+	g.draining.Store(true)
+	m.Set("gateway.listening", "", 0)
+	supStop()
+	g.wg.Wait()
+	dctx, cancel := context.WithTimeout(context.Background(), g.cfg.drainTimeout())
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		<-errc
+		m.Inc("gateway.drain", "forced")
+		return fmt.Errorf("gateway drain deadline exceeded: %w", err)
+	}
+	<-errc
+	m.Inc("gateway.drain", "clean")
+	return nil
+}

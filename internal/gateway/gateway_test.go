@@ -1,0 +1,547 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/obs"
+	"extra/internal/server"
+)
+
+// leakCheck snapshots the goroutine count and verifies it after every
+// other cleanup (including startGateway's drain) has run. Register it
+// before startGateway: cleanups are LIFO.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { checkGoroutines(t, before) })
+}
+
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before, %d after", before, after)
+}
+
+// fakeWorker is a scriptable stand-in for `extra serve`: always ready,
+// answers /analyze after a configurable delay (noticing cancellation), and
+// serves /batch rows and /metrics from a real registry.
+type fakeWorker struct {
+	tag      string
+	delay    atomic.Int64 // ns applied to /analyze
+	analyzed atomic.Int64
+	canceled atomic.Int64
+	batch503 atomic.Bool
+	reg      *obs.Registry
+	srv      *httptest.Server
+}
+
+func newFakeWorker(tag string) *fakeWorker {
+	f := &fakeWorker{tag: tag, reg: obs.NewRegistry()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/analyze", func(w http.ResponseWriter, req *http.Request) {
+		f.analyzed.Add(1)
+		if d := time.Duration(f.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-req.Context().Done():
+				f.canceled.Add(1)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(map[string]string{
+			"outcome": "ok",
+			"worker":  f.tag,
+			"request": req.Header.Get("X-Request-Id"),
+		})
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, req *http.Request) {
+		if f.batch503.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"draining"}`)
+			return
+		}
+		var breq struct {
+			Pairs []string `json:"pairs"`
+		}
+		json.NewDecoder(req.Body).Decode(&breq)
+		rows := make([]batch.Result, 0, len(breq.Pairs))
+		for _, p := range breq.Pairs {
+			ins, op, _ := strings.Cut(p, "/")
+			rows = append(rows, batch.Result{
+				Machine: "8086", Instruction: ins, Operator: op,
+				Language: "asm", Operation: op, Outcome: "ok",
+			})
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		batch.WriteJSON(w, rows)
+	})
+	mux.Handle("/metrics", f.reg)
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeWorker) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+// startGateway runs g until the test ends and returns its base URL. The
+// drain at cleanup must come back clean.
+func startGateway(t *testing.T, g *Gateway) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- g.Run(ctx, func(a net.Addr) { addrc <- a }) }()
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("gateway exited before ready: %v", err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("gateway drain: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("gateway did not drain")
+		}
+	})
+	return "http://" + addr.String()
+}
+
+// pairHomedOn picks a catalog pair whose rendezvous home is the shard with
+// the given name, assuming every shard is live.
+func pairHomedOn(t *testing.T, g *Gateway, name string) string {
+	t.Helper()
+	for _, p := range g.pairs {
+		key := g.routeKey(p)
+		best, bestScore := "", uint64(0)
+		for _, sh := range g.shards {
+			if s := rendezvousScore(key, sh.name); best == "" || s > bestScore {
+				best, bestScore = sh.name, s
+			}
+		}
+		if best == name {
+			return p
+		}
+	}
+	t.Fatalf("no catalog pair is homed on shard %s", name)
+	return ""
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", url, err)
+	}
+	return resp, b
+}
+
+func counterValue(reg *obs.Registry, metric, label string) uint64 {
+	for _, c := range reg.Snapshot().Counters {
+		if c.Metric == metric && c.Label == label {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// TestRoutingDeterministic: the same pair always lands on the same shard,
+// and the response says which via X-Shard-Id.
+func TestRoutingDeterministic(t *testing.T) {
+	leakCheck(t)
+	a, b := newFakeWorker("a"), newFakeWorker("b")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	g, err := New(Config{
+		StaticShards:  []string{a.addr(), b.addr()},
+		Metrics:       obs.NewRegistry(),
+		ProbeInterval: time.Hour, // startup probe only: keep the test deterministic
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	pair := pairHomedOn(t, g, "0")
+	var first string
+	for i := 0; i < 5; i++ {
+		resp, _ := postJSON(t, base+"/analyze?pair="+pair, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %d: status %d", i, resp.StatusCode)
+		}
+		id := resp.Header.Get("X-Shard-Id")
+		if id == "" {
+			t.Fatal("response lacks X-Shard-Id")
+		}
+		if first == "" {
+			first = id
+		} else if id != first {
+			t.Fatalf("pair %q moved shards (%s then %s) with a stable ring", pair, first, id)
+		}
+		if resp.Header.Get("X-Trace-Id") == "" {
+			t.Fatal("response lacks X-Trace-Id")
+		}
+	}
+	if first != "0" {
+		t.Fatalf("pair %q served by shard %s, rendezvous home is 0", pair, first)
+	}
+}
+
+// TestTraceForwarding: the caller's trace identity reaches the worker, so
+// spans stitch across the gateway hop.
+func TestTraceForwarding(t *testing.T) {
+	a := newFakeWorker("a")
+	defer a.srv.Close()
+	g, err := New(Config{StaticShards: []string{a.addr()}, Metrics: obs.NewRegistry(), ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	req, _ := http.NewRequest(http.MethodPost, base+"/analyze?pair="+g.pairs[0], nil)
+	req.Header.Set("traceparent", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Request string `json:"request"`
+	}
+	json.NewDecoder(resp.Body).Decode(&got)
+	if got.Request != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("worker saw X-Request-Id %q, want the traceparent trace ID", got.Request)
+	}
+	if resp.Header.Get("X-Trace-Id") != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("gateway echoed X-Trace-Id %q", resp.Header.Get("X-Trace-Id"))
+	}
+}
+
+// TestHedgeWinsOverSlowShard: a request outliving the hedge delay is
+// raced against the next shard; the fast shard's response wins, the slow
+// attempt is canceled (no goroutine parked on it), and the hedge counters
+// record fired + won.
+func TestHedgeWinsOverSlowShard(t *testing.T) {
+	leakCheck(t)
+	a, b := newFakeWorker("a"), newFakeWorker("b")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	reg := obs.NewRegistry()
+	g, err := New(Config{
+		StaticShards:  []string{a.addr(), b.addr()},
+		Metrics:       reg,
+		ProbeInterval: time.Hour,
+		HedgeDefault:  30 * time.Millisecond, // cold shards: hedge fast
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	pair := pairHomedOn(t, g, "0")
+	a.delay.Store(int64(2 * time.Second)) // shard 0 is stuck
+	start := time.Now()
+	resp, _ := postJSON(t, base+"/analyze?pair="+pair, nil)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged analyze: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Shard-Id"); got != "1" {
+		t.Fatalf("winner was shard %s, want the hedge target 1", got)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged request took %v; the hedge did not race the slow shard", elapsed)
+	}
+	if got := counterValue(reg, "gateway.hedge", "fired"); got != 1 {
+		t.Fatalf("gateway.hedge{fired} = %d, want 1", got)
+	}
+	if got := counterValue(reg, "gateway.hedge", "won"); got != 1 {
+		t.Fatalf("gateway.hedge{won} = %d, want 1", got)
+	}
+	// The losing attempt must be canceled, not left to run out its delay.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.canceled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.canceled.Load() == 0 {
+		t.Fatal("slow shard's attempt was never canceled")
+	}
+}
+
+// TestFailoverOnDeadShard: a transport failure on the home shard reroutes
+// to the next live shard with no client-visible error, and takes the dead
+// shard out of the ring.
+func TestFailoverOnDeadShard(t *testing.T) {
+	a, b := newFakeWorker("a"), newFakeWorker("b")
+	defer b.srv.Close()
+	reg := obs.NewRegistry()
+	g, err := New(Config{
+		StaticShards:  []string{a.addr(), b.addr()},
+		Metrics:       reg,
+		ProbeInterval: time.Hour,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	pair := pairHomedOn(t, g, "0")
+	a.srv.Close() // kill the home shard's listener out from under the ring
+	resp, body := postJSON(t, base+"/analyze?pair="+pair, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover analyze: status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Shard-Id"); got != "1" {
+		t.Fatalf("served by shard %s, want the failover target 1", got)
+	}
+	if got := counterValue(reg, "gateway.failover", "0"); got != 1 {
+		t.Fatalf("gateway.failover{0} = %d, want 1", got)
+	}
+	if g.shards[0].getState() != shardDown {
+		t.Fatalf("home shard still %v after a transport failure", g.shards[0].getState())
+	}
+	// The survivor now owns the pair directly: no second failover.
+	resp, _ = postJSON(t, base+"/analyze?pair="+pair, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Shard-Id") != "1" {
+		t.Fatalf("rehash after failover: status %d shard %s", resp.StatusCode, resp.Header.Get("X-Shard-Id"))
+	}
+	if got := counterValue(reg, "gateway.failover", "0"); got != 1 {
+		t.Fatalf("gateway.failover{0} grew to %d on a rehashed request", got)
+	}
+}
+
+// TestNoLiveShard503: with every shard unreachable the gateway reports
+// 503 + Retry-After and flips /readyz, instead of hanging or lying.
+func TestNoLiveShard503(t *testing.T) {
+	a := newFakeWorker("a")
+	addr := a.addr()
+	a.srv.Close() // gone before the gateway ever probes it
+	g, err := New(Config{StaticShards: []string{addr}, Metrics: obs.NewRegistry(), ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	resp, _ := postJSON(t, base+"/analyze?pair="+g.pairs[0], nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-shard analyze: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no-shard 503 lacks Retry-After")
+	}
+	rr, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with zero live shards, want 503", rr.StatusCode)
+	}
+}
+
+// TestBatchFailover: a shard that refuses its batch slice (503) has the
+// slice reassigned to a survivor; the client sees one merged 200 report.
+func TestBatchFailover(t *testing.T) {
+	a, b := newFakeWorker("a"), newFakeWorker("b")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	a.batch503.Store(true)
+	reg := obs.NewRegistry()
+	g, err := New(Config{StaticShards: []string{a.addr(), b.addr()}, Metrics: reg, ProbeInterval: time.Hour, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	pairs := g.pairs[:6]
+	body, _ := json.Marshal(map[string]any{"pairs": pairs})
+	resp, got := postJSON(t, base+"/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with one refusing shard: status %d body %s", resp.StatusCode, got)
+	}
+	if id := resp.Header.Get("X-Shard-Id"); id != "1" {
+		t.Fatalf("X-Shard-Id = %q, want only the serving shard 1", id)
+	}
+	var rep struct {
+		Results []batch.Result `json:"results"`
+	}
+	if err := json.Unmarshal(got, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(pairs) {
+		t.Fatalf("merged %d rows, want %d", len(rep.Results), len(pairs))
+	}
+	for i, r := range rep.Results {
+		if r.Pair() != pairs[i] {
+			t.Fatalf("row %d is %q, want request order %q", i, r.Pair(), pairs[i])
+		}
+	}
+}
+
+var volatileFields = regexp.MustCompile(`"(duration_ms|total_duration_ms)": *[0-9]+|"trace": *"[^"]*"`)
+
+func normalizeReport(b []byte) string {
+	return volatileFields.ReplaceAllStringFunc(string(b), func(m string) string {
+		if strings.HasPrefix(m, `"trace"`) {
+			return `"trace": ""`
+		}
+		name, _, _ := strings.Cut(m, ":")
+		return name + ": 0"
+	})
+}
+
+// TestBatchMergeMatchesSingleProcess is the acceptance criterion: the
+// gateway's merged /batch report over real workers is byte-identical to a
+// single worker's report for the same pairs, modulo durations and trace
+// IDs.
+func TestBatchMergeMatchesSingleProcess(t *testing.T) {
+	workers := make([]*httptest.Server, 3)
+	addrs := make([]string, 3)
+	for i := range workers {
+		srv := server.New(server.Config{Metrics: obs.NewRegistry()})
+		workers[i] = httptest.NewServer(srv.Handler())
+		defer workers[i].Close()
+		addrs[i] = strings.TrimPrefix(workers[i].URL, "http://")
+	}
+	single := httptest.NewServer(server.New(server.Config{Metrics: obs.NewRegistry()}).Handler())
+	defer single.Close()
+
+	g, err := New(Config{StaticShards: addrs, Metrics: obs.NewRegistry(), ProbeInterval: time.Hour, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	pairs := g.pairs[:5]
+	body, _ := json.Marshal(map[string]any{"pairs": pairs})
+
+	gresp, gout := postJSON(t, base+"/batch", body)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway batch: status %d body %s", gresp.StatusCode, gout)
+	}
+	if gresp.Header.Get("X-Shard-Id") == "" {
+		t.Fatal("merged report lacks X-Shard-Id")
+	}
+	sresp, sout := postJSON(t, single.URL+"/batch", body)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("single batch: status %d body %s", sresp.StatusCode, sout)
+	}
+	if normalizeReport(gout) != normalizeReport(sout) {
+		t.Errorf("merged report diverges from the single-process report\n--- gateway ---\n%s\n--- single ---\n%s",
+			normalizeReport(gout), normalizeReport(sout))
+	}
+}
+
+// TestMergedMetrics: /metrics is the fleet view — worker counters summed
+// with the gateway's own series, in both encodings.
+func TestMergedMetrics(t *testing.T) {
+	a, b := newFakeWorker("a"), newFakeWorker("b")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	a.reg.Add("server.requests", "/analyze", 3)
+	b.reg.Add("server.requests", "/analyze", 4)
+	g, err := New(Config{StaticShards: []string{a.addr(), b.addr()}, Metrics: obs.NewRegistry(), ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, b
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not a snapshot: %v", err)
+	}
+	foundSum, foundUp := false, false
+	for _, c := range snap.Counters {
+		if c.Metric == "server.requests" && c.Label == "/analyze" && c.Value == 7 {
+			foundSum = true
+		}
+	}
+	for _, gg := range snap.Gauges {
+		if gg.Metric == "gateway.up" {
+			foundUp = true
+		}
+	}
+	if !foundSum {
+		t.Errorf("merged /metrics lacks the summed worker counter: %s", body)
+	}
+	if !foundUp {
+		t.Errorf("merged /metrics lacks the gateway's own series: %s", body)
+	}
+	promResp, err := http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if !strings.Contains(string(promBody), `server_requests{label="/analyze"} 7`) {
+		t.Errorf("prom exposition lacks the summed counter:\n%s", promBody)
+	}
+}
+
+// TestGatewayDrainRefusesNewWork: once draining, work endpoints answer 503
+// and /readyz flips, while the drain itself stays clean (checked by
+// startGateway's cleanup).
+func TestGatewayDrainRefusesNewWork(t *testing.T) {
+	a := newFakeWorker("a")
+	defer a.srv.Close()
+	g, err := New(Config{StaticShards: []string{a.addr()}, Metrics: obs.NewRegistry(), ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	g.draining.Store(true)
+	resp, _ := postJSON(t, base+"/analyze?pair="+g.pairs[0], nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining analyze: status %d, want 503", resp.StatusCode)
+	}
+	rr, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: status %d, want 503", rr.StatusCode)
+	}
+	g.draining.Store(false) // let the cleanup drain run normally
+}

@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func upShards(n int) []*shard {
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{id: i, name: fmt.Sprintf("%d", i)}
+		shards[i].setAddr(fmt.Sprintf("http://127.0.0.1:%d", 10000+i), 0)
+		shards[i].markUp()
+	}
+	return shards
+}
+
+// TestRendezvousMinimalRemap is the property the whole routing scheme
+// exists for: when one shard leaves the ring, only the keys it owned move;
+// every other key keeps its home shard (and therefore its warm cache
+// tier).
+func TestRendezvousMinimalRemap(t *testing.T) {
+	shards := upShards(5)
+	keys := make([][]byte, 0, 200)
+	for i := 0; i < 200; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("pair-%d/op", i)))
+	}
+	home := map[string]*shard{}
+	owned := 0
+	for _, k := range keys {
+		order := rank(shards, k)
+		if len(order) != 5 {
+			t.Fatalf("rank returned %d shards, want 5", len(order))
+		}
+		home[string(k)] = order[0]
+		if order[0] == shards[2] {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("shard 2 owns no keys; the hash is not spreading")
+	}
+	shards[2].markDown()
+	for _, k := range keys {
+		order := rank(shards, k)
+		if len(order) != 4 {
+			t.Fatalf("rank after removal returned %d shards, want 4", len(order))
+		}
+		prev := home[string(k)]
+		if prev == shards[2] {
+			if order[0] == shards[2] {
+				t.Fatalf("key %q still routed to the downed shard", k)
+			}
+			continue
+		}
+		if order[0] != prev {
+			t.Fatalf("key %q moved from shard %s to %s though its home stayed live",
+				k, prev.name, order[0].name)
+		}
+	}
+	// Recovery restores the original assignment exactly.
+	shards[2].markUp()
+	for _, k := range keys {
+		if got := rank(shards, k)[0]; got != home[string(k)] {
+			t.Fatalf("key %q did not return to its home shard after recovery", k)
+		}
+	}
+}
+
+// TestRankFiltersUnroutable: down shards, dead shards, and shards with no
+// reported address never appear in an order.
+func TestRankFiltersUnroutable(t *testing.T) {
+	shards := upShards(4)
+	shards[0].markDown()
+	shards[1].markDead()
+	shards[3].setAddr("", 0) // never reported in
+	shards[3].state = shardUp
+	order := rank(shards, []byte("k"))
+	if len(order) != 1 || order[0] != shards[2] {
+		t.Fatalf("rank = %v, want only shard 2", order)
+	}
+	if shards[1].markUp() {
+		t.Fatal("a dead shard accepted markUp; dead must be terminal")
+	}
+}
+
+// TestLatencyEstimator: no estimate before 8 samples (the cold-start
+// guard), a sane tail estimate after, and adaptation when the shard slows
+// down.
+func TestLatencyEstimator(t *testing.T) {
+	var e latencyEstimator
+	if _, ok := e.p99(); ok {
+		t.Fatal("estimator produced a p99 with zero samples")
+	}
+	for i := 0; i < 7; i++ {
+		e.observe(10 * time.Millisecond)
+	}
+	if _, ok := e.p99(); ok {
+		t.Fatal("estimator produced a p99 before the cold-start guard lifted")
+	}
+	e.observe(10 * time.Millisecond)
+	p, ok := e.p99()
+	if !ok {
+		t.Fatal("no estimate after 8 samples")
+	}
+	if p < 10*time.Millisecond || p > 50*time.Millisecond {
+		t.Fatalf("steady 10ms samples gave p99 %v, want within [10ms, 50ms]", p)
+	}
+	for i := 0; i < 64; i++ {
+		e.observe(100 * time.Millisecond)
+	}
+	p2, _ := e.p99()
+	if p2 <= p {
+		t.Fatalf("estimate did not rise after the shard slowed (was %v, now %v)", p, p2)
+	}
+	e.observe(0) // non-positive samples are ignored, not averaged in
+	if p3, _ := e.p99(); p3 != p2 {
+		t.Fatalf("zero-duration sample moved the estimate: %v -> %v", p2, p3)
+	}
+}
+
+// TestRendezvousScoreStable: the score is a pure function — the same
+// (key, name) always ranks the same, across processes and restarts.
+func TestRendezvousScoreStable(t *testing.T) {
+	a := rendezvousScore([]byte("scasb/index"), "0")
+	b := rendezvousScore([]byte("scasb/index"), "0")
+	if a != b {
+		t.Fatal("rendezvousScore is not deterministic")
+	}
+	if rendezvousScore([]byte("scasb/index"), "1") == a {
+		t.Fatal("distinct shard names scored identically; ties would be universal")
+	}
+}

@@ -1,0 +1,183 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// shardState is one worker's availability as the gateway sees it.
+type shardState int32
+
+const (
+	// shardDown: not routable — never reported an address, crashed, or
+	// failed its last health probe. The supervisor keeps trying to bring it
+	// back.
+	shardDown shardState = iota
+	// shardUp: address known and the last /readyz probe answered 200.
+	shardUp
+	// shardDead: crash-looping — K consecutive rapid exits. The supervisor
+	// has given up; the shard is excluded from the ring until the fleet
+	// restarts.
+	shardDead
+)
+
+func (s shardState) String() string {
+	switch s {
+	case shardUp:
+		return "up"
+	case shardDead:
+		return "dead"
+	default:
+		return "down"
+	}
+}
+
+// shard is one supervised (or static) worker: its routing identity, its
+// current address and availability, and the latency estimate that arms the
+// hedge timer.
+type shard struct {
+	id   int
+	name string // the X-Shard-Id value and metrics label
+
+	mu      sync.Mutex
+	baseURL string // "http://host:port", "" until the worker reports in
+	state   shardState
+	pid     int
+
+	lat latencyEstimator
+}
+
+func (s *shard) base() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseURL
+}
+
+func (s *shard) setAddr(baseURL string, pid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.baseURL = baseURL
+	s.pid = pid
+}
+
+func (s *shard) getState() shardState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// markUp transitions to up (unless dead); reports whether the state changed.
+func (s *shard) markUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == shardDead || s.state == shardUp {
+		return false
+	}
+	s.state = shardUp
+	return true
+}
+
+// markDown transitions to down (unless dead); reports whether the state
+// changed. Routing consults the state on every request, so a transport
+// error takes the shard out of the ring immediately — faster than the next
+// probe tick.
+func (s *shard) markDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == shardDead || s.state == shardDown {
+		return false
+	}
+	s.state = shardDown
+	return true
+}
+
+// markDead is terminal: the crash-loop detector declaring the shard gone.
+func (s *shard) markDead() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = shardDead
+}
+
+// latencyEstimator maintains a per-shard p99 EWMA: an exponentially
+// weighted mean and mean-absolute-deviation of observed request latencies,
+// combined as mean + 4·dev — a tail estimate that tracks the p99 of
+// exponential-ish service-time distributions while adapting at EWMA speed
+// when a shard slows down. It arms the hedge timer: a request still waiting
+// past the estimate is probably stuck behind a slow shard, and a hedge to
+// the next shard is cheaper than waiting out the tail.
+type latencyEstimator struct {
+	mu   sync.Mutex
+	n    int
+	mean float64 // ns
+	dev  float64 // ns, EWMA of |sample - mean|
+}
+
+// latAlpha is the EWMA weight (1/8, matching the server's service-time
+// average): new samples move the estimate an eighth of the way.
+const latAlpha = 0.125
+
+func (e *latencyEstimator) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s := float64(d)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.mean = s
+		e.dev = s / 2
+	} else {
+		diff := s - e.mean
+		if diff < 0 {
+			diff = -diff
+		}
+		e.mean += latAlpha * (s - e.mean)
+		e.dev += latAlpha * (diff - e.dev)
+	}
+	e.n++
+}
+
+// p99 returns the current tail estimate; ok is false until enough samples
+// have landed to trust it (the cold-start guard — hedging on a garbage
+// estimate would double-send every warm-up request).
+func (e *latencyEstimator) p99() (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n < 8 {
+		return 0, false
+	}
+	return time.Duration(e.mean + 4*e.dev), true
+}
+
+// rendezvousScore ranks (key, shard) pairs: FNV-1a over the shard's name
+// then the routing key. Each shard scores every key independently, so
+// removing one shard remaps only the keys it owned — the property that
+// keeps every surviving worker's cache tier hot through a failure.
+func rendezvousScore(key []byte, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write(key)
+	return h.Sum64()
+}
+
+// rank orders the live shards by descending rendezvous score for key: the
+// first entry is the home shard, the rest are the failover/hedge order.
+func rank(shards []*shard, key []byte) []*shard {
+	live := make([]*shard, 0, len(shards))
+	for _, s := range shards {
+		if s.getState() == shardUp && s.base() != "" {
+			live = append(live, s)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		si, sj := rendezvousScore(key, live[i].name), rendezvousScore(key, live[j].name)
+		if si != sj {
+			return si > sj
+		}
+		return live[i].id < live[j].id
+	})
+	return live
+}

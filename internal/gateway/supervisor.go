@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Worker supervision: each shard gets one supervisor goroutine that spawns
+// the worker process, scrapes its "serving on ADDR" line for the bound
+// address (workers bind ephemeral ports; the address is authoritative, not
+// configured), restarts it on crash with exponential backoff, and gives up
+// — marking the shard dead — after CrashLoopBurst consecutive rapid exits.
+// On drain the supervisor SIGTERMs its worker and waits for the worker's
+// own graceful drain, bounded by DrainTimeout, before returning.
+
+// servingPrefix is the line `extra serve` prints once its listener is up.
+const servingPrefix = "serving on "
+
+// superviseLoop owns one shard's worker process for the gateway's
+// lifetime. ctx cancellation is the drain signal.
+func (g *Gateway) superviseLoop(ctx context.Context, sh *shard) {
+	defer g.wg.Done()
+	m := g.metrics()
+	backoff := g.cfg.backoffBase()
+	rapid := 0
+	for ctx.Err() == nil {
+		cmd := g.cfg.WorkerCommand(sh.id)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			g.logf("gateway: shard %s: stdout pipe: %v", sh.name, err)
+			return
+		}
+		start := time.Now()
+		if err := cmd.Start(); err != nil {
+			// Spawn failure (bad binary, fd exhaustion): counts as a rapid
+			// crash — a broken command will never come up.
+			g.logf("gateway: shard %s: start: %v", sh.name, err)
+			stdout.Close()
+			rapid++
+			if g.dead(sh, rapid) {
+				return
+			}
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff = g.nextBackoff(backoff)
+			continue
+		}
+		m.Inc("gateway.spawn", sh.name)
+		go g.scanWorkerStdout(sh, cmd, stdout)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-ctx.Done():
+			// Fleet drain: forward SIGTERM so the worker runs its own
+			// readyz-flip → drain → exit-0 sequence; kill it only past the
+			// drain deadline.
+			cmd.Process.Signal(syscall.SIGTERM)
+			select {
+			case <-done:
+			case <-time.After(g.cfg.drainTimeout()):
+				g.logf("gateway: shard %s: drain deadline exceeded, killing pid %d", sh.name, cmd.Process.Pid)
+				cmd.Process.Kill()
+				<-done
+				m.Inc("gateway.drain", "forced")
+			}
+			return
+		case err := <-done:
+			if ctx.Err() != nil {
+				return
+			}
+			uptime := time.Since(start)
+			if sh.markDown() {
+				m.Set("gateway.up", sh.name, 0)
+			}
+			m.Inc("gateway.restarts", sh.name)
+			g.logf("gateway: shard %s: worker pid %d exited after %v (%v); restarting in %v",
+				sh.name, cmd.Process.Pid, uptime.Round(time.Millisecond), err, backoff)
+			if uptime < g.cfg.rapidWindow() {
+				rapid++
+			} else {
+				rapid = 0
+				backoff = g.cfg.backoffBase()
+			}
+			if g.dead(sh, rapid) {
+				return
+			}
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff = g.nextBackoff(backoff)
+		}
+	}
+}
+
+// dead applies the crash-loop policy: past CrashLoopBurst consecutive
+// rapid failures the shard is marked dead and its supervisor exits —
+// restarting a worker that dies on arrival only burns CPU and log space,
+// and the ring is better off without it.
+func (g *Gateway) dead(sh *shard, rapid int) bool {
+	if rapid < g.cfg.crashLoopBurst() {
+		return false
+	}
+	sh.markDead()
+	g.metrics().Set("gateway.up", sh.name, 0)
+	g.metrics().Inc("gateway.dead", sh.name)
+	g.logf("gateway: shard %s: crash loop (%d rapid failures), marking dead", sh.name, rapid)
+	return true
+}
+
+func (g *Gateway) nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if max := g.cfg.backoffMax(); d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether the full sleep
+// happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// scanWorkerStdout watches one worker incarnation's stdout for its
+// "serving on ADDR" line, records the address, and immediately probes so
+// the shard joins the ring without waiting for the next tick. Later lines
+// (the worker's drain summary, for example) pass through to the gateway's
+// log.
+func (g *Gateway) scanWorkerStdout(sh *shard, cmd *exec.Cmd, stdout io.Reader) {
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, servingPrefix); ok {
+			sh.setAddr("http://"+strings.TrimSpace(addr), cmd.Process.Pid)
+			g.logf("gateway: shard %s: pid %d %s%s", sh.name, cmd.Process.Pid, servingPrefix, strings.TrimSpace(addr))
+			g.probeShard(sh)
+			continue
+		}
+		g.logf("gateway: shard %s: %s", sh.name, line)
+	}
+}

@@ -1,0 +1,216 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"extra/internal/obs"
+	"extra/internal/server"
+)
+
+// TestHelperWorker is not a test: re-exec'd by the supervision tests as a
+// real worker process (the same pattern cmd/extra's crash tests use).
+// GATEWAY_TEST_MODE selects the failure it simulates.
+func TestHelperWorker(t *testing.T) {
+	if os.Getenv("GATEWAY_TEST_WORKER") == "" {
+		t.Skip("helper process for supervision tests")
+	}
+	switch os.Getenv("GATEWAY_TEST_MODE") {
+	case "crash":
+		os.Exit(3) // dies on arrival: the crash-loop case
+	}
+	srv := server.New(server.Config{Metrics: obs.NewRegistry()})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := srv.Run(ctx, func(a net.Addr) { fmt.Printf("serving on %s\n", a) }); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func helperWorkerCommand(mode string) func(int) *exec.Cmd {
+	return func(int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestHelperWorker$", "-test.v=false")
+		cmd.Env = append(os.Environ(), "GATEWAY_TEST_WORKER=1", "GATEWAY_TEST_MODE="+mode)
+		cmd.Stderr = io.Discard
+		return cmd
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func (s *shard) pidSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pid
+}
+
+// TestSupervisorRestartsKilledWorker is the chaos proof in miniature:
+// kill -9 one of two supervised workers; every in-flight and subsequent
+// request still answers 200 (failover to the survivor), and the
+// supervisor respawns the victim on a fresh port within the backoff
+// window.
+func TestSupervisorRestartsKilledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	leakCheck(t)
+	reg := obs.NewRegistry()
+	g, err := New(Config{
+		Workers:       2,
+		WorkerCommand: helperWorkerCommand("serve"),
+		Metrics:       reg,
+		ProbeInterval: 50 * time.Millisecond,
+		BackoffBase:   50 * time.Millisecond,
+		RapidWindow:   100 * time.Millisecond, // a killed healthy worker is not a crash loop
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	waitFor(t, 20*time.Second, "both workers ready", func() bool { return g.liveShards() == 2 })
+
+	victim := g.shards[0]
+	pid := victim.pidSnapshot()
+	if pid == 0 {
+		t.Fatal("shard 0 has no recorded pid")
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("kill -9 %d: %v", pid, err)
+	}
+	// Hammer the gateway while the worker is down: zero client-visible
+	// failures is the whole point of the failover path.
+	for i := 0; i < 10; i++ {
+		resp, body := postJSON(t, base+"/analyze?pair=scasb/index", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during worker death: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	waitFor(t, 20*time.Second, "victim respawned and ready", func() bool {
+		return victim.getState() == shardUp && victim.pidSnapshot() != pid
+	})
+	if got := counterValue(reg, "gateway.restarts", "0"); got < 1 {
+		t.Fatalf("gateway.restarts{0} = %d, want >= 1", got)
+	}
+	if got := counterValue(reg, "gateway.spawn", "0"); got < 2 {
+		t.Fatalf("gateway.spawn{0} = %d, want >= 2", got)
+	}
+}
+
+// TestCrashLoopMarksShardDead: a worker that dies on arrival is retried
+// with backoff exactly CrashLoopBurst times, then the shard is marked dead
+// and the supervisor stops burning CPU on it. The healthy sibling keeps
+// the gateway ready.
+func TestCrashLoopMarksShardDead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	reg := obs.NewRegistry()
+	modes := map[int]string{0: "crash", 1: "serve"}
+	g, err := New(Config{
+		Workers: 2,
+		WorkerCommand: func(id int) *exec.Cmd {
+			return helperWorkerCommand(modes[id])(id)
+		},
+		Metrics:        reg,
+		ProbeInterval:  50 * time.Millisecond,
+		BackoffBase:    10 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		CrashLoopBurst: 3,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startGateway(t, g)
+	waitFor(t, 20*time.Second, "crash-looping shard marked dead", func() bool {
+		return g.shards[0].getState() == shardDead
+	})
+	if got := counterValue(reg, "gateway.dead", "0"); got != 1 {
+		t.Fatalf("gateway.dead{0} = %d, want 1", got)
+	}
+	if got := counterValue(reg, "gateway.spawn", "0"); got != 3 {
+		t.Fatalf("gateway.spawn{0} = %d, want exactly CrashLoopBurst=3 attempts", got)
+	}
+	waitFor(t, 20*time.Second, "healthy sibling ready", func() bool {
+		return g.shards[1].getState() == shardUp
+	})
+	rr, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d with a live sibling, want 200", rr.StatusCode)
+	}
+	resp, body := postJSON(t, base+"/analyze?pair=scasb/index", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze with a dead shard in the fleet: status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Shard-Id"); got != "1" {
+		t.Fatalf("served by shard %s, want the live shard 1", got)
+	}
+}
+
+// TestFleetDrain: SIGTERM semantics end-to-end — canceling the run
+// context SIGTERMs every worker, each drains cleanly, and Run returns nil
+// with no goroutine left behind.
+func TestFleetDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	leakCheck(t)
+	reg := obs.NewRegistry()
+	g, err := New(Config{
+		Workers:       2,
+		WorkerCommand: helperWorkerCommand("serve"),
+		Metrics:       reg,
+		ProbeInterval: 50 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- g.Run(ctx, func(a net.Addr) { addrc <- a }) }()
+	<-addrc
+	waitFor(t, 20*time.Second, "fleet ready", func() bool { return g.liveShards() == 2 })
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fleet drain returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet drain hung")
+	}
+	if got := counterValue(reg, "gateway.drain", "clean"); got != 1 {
+		t.Fatalf("gateway.drain{clean} = %d, want 1", got)
+	}
+	if got := counterValue(reg, "gateway.drain", "forced"); got != 0 {
+		t.Fatalf("gateway.drain{forced} = %d, want 0", got)
+	}
+}

@@ -55,6 +55,12 @@ func (p *Parser) next() {
 			return
 		}
 		if t.Kind == TokComment {
+			// An empty "!" comment carries nothing and must not join the
+			// pending text: "0" + "" would print as "0; " whose trailing
+			// space a reparse trims — breaking format idempotence.
+			if t.Text == "" {
+				continue
+			}
 			if p.pending == "" {
 				p.pending = t.Text
 			} else {

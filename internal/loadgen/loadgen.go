@@ -154,6 +154,12 @@ type Report struct {
 	Warm      LatencyStats `json:"warm"`
 	Cold      LatencyStats `json:"cold"`
 	Coalesced LatencyStats `json:"coalesced"`
+	// Shards buckets successful responses by their X-Shard-Id header —
+	// present when the target is the shard gateway. One slow worker hides
+	// inside an aggregate percentile; it cannot hide inside its own row.
+	// Responses without the header (a single `extra serve`) land nowhere,
+	// and the map is omitted entirely when no response carried one.
+	Shards map[string]LatencyStats `json:"shards,omitempty"`
 	// SLO is the gate verdict when Evaluate was called.
 	SLO *SLOResult `json:"slo,omitempty"`
 }
@@ -246,6 +252,7 @@ type sample struct {
 	ns     int64
 	status int
 	cache  string // X-Cache value, "" when absent
+	shard  string // X-Shard-Id value, "" when absent
 	traced bool
 	err    bool
 }
@@ -357,6 +364,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				defer wg.Done()
 				for intended := range tokens {
 					s := doRequest(runCtx, client, cfg.BaseURL, pick(rng, &cfg))
+					if s.err && runCtx.Err() != nil {
+						// Aborted by the run's own deadline, not by the
+						// service: a harness artifact, not a sample.
+						return
+					}
 					// Charge the schedule slip: the request's latency runs
 					// from its intended start, not from when a worker freed up.
 					if slip := time.Since(intended).Nanoseconds(); slip > s.ns {
@@ -373,7 +385,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			go func() {
 				defer wg.Done()
 				for runCtx.Err() == nil && claim() {
-					col.add(doRequest(runCtx, client, cfg.BaseURL, pick(rng, &cfg)))
+					s := doRequest(runCtx, client, cfg.BaseURL, pick(rng, &cfg))
+					if s.err && runCtx.Err() != nil {
+						// The run deadline cut this request off mid-flight;
+						// it measures the harness, not the service.
+						return
+					}
+					col.add(s)
 				}
 			}()
 		}
@@ -418,6 +436,7 @@ func doRequest(ctx context.Context, client *http.Client, base, pair string) samp
 		ns:     time.Since(start).Nanoseconds(),
 		status: resp.StatusCode,
 		cache:  resp.Header.Get("X-Cache"),
+		shard:  resp.Header.Get("X-Shard-Id"),
 		traced: resp.Header.Get("X-Trace-Id") != "",
 	}
 }
@@ -432,6 +451,7 @@ func build(samples []sample, mode string, elapsed time.Duration) *Report {
 		r.ThroughputRPS = float64(len(samples)) / elapsed.Seconds()
 	}
 	var overall, warm, cold, coalesced []int64
+	byShard := map[string][]int64{}
 	for _, s := range samples {
 		if s.err {
 			r.Errors++
@@ -452,6 +472,9 @@ func build(samples []sample, mode string, elapsed time.Duration) *Report {
 			continue
 		}
 		overall = append(overall, s.ns)
+		if s.shard != "" {
+			byShard[s.shard] = append(byShard[s.shard], s.ns)
+		}
 		cacheKey := s.cache
 		if cacheKey == "" {
 			cacheKey = "none"
@@ -470,5 +493,11 @@ func build(samples []sample, mode string, elapsed time.Duration) *Report {
 	r.Warm = Stats(warm)
 	r.Cold = Stats(cold)
 	r.Coalesced = Stats(coalesced)
+	if len(byShard) > 0 {
+		r.Shards = make(map[string]LatencyStats, len(byShard))
+		for id, ns := range byShard {
+			r.Shards[id] = Stats(ns)
+		}
+	}
 	return r
 }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+)
+
+// Snapshot merging: the shard gateway scrapes each worker's /metrics
+// snapshot and folds them — together with its own registry — into one
+// fleet-wide view. Counters and gauges sum across shards; histograms merge
+// exactly because every registry uses the same power-of-two buckets, so the
+// merged bucket counts are the counts a single registry observing every
+// sample would have held, and the merged quantile estimates carry the same
+// in-bucket guarantee as a single registry's. Rolling windows do not merge
+// (the shards' window epochs are not aligned), so merged histograms omit
+// them.
+
+// WriteJSON writes the snapshot as indented JSON with the same
+// deterministic ordering as Registry.WriteJSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format,
+// exactly as Registry.WriteProm renders a live registry.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	return writeProm(w, s)
+}
+
+// mergedHist accumulates one histogram series across snapshots.
+type mergedHist struct {
+	counts [65]uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// bucketIndex inverts bucketName: "inf" is the overflow bucket, every other
+// label is the exclusive power-of-two upper bound 2^i of bucket i. ok is
+// false for labels no registry emits.
+func bucketIndex(le string) (int, bool) {
+	if le == "inf" {
+		return 64, true
+	}
+	v, err := strconv.ParseUint(le, 10, 64)
+	if err != nil || v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(v), true
+}
+
+// MergeSnapshots folds snapshots into one: counters and gauges with the
+// same (metric, label) sum; histograms merge bucket-wise with quantile
+// estimates recomputed over the merged buckets. The result is sorted like
+// any registry snapshot, so its JSON and Prometheus encodings are
+// deterministic.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := map[key]uint64{}
+	gauges := map[key]int64{}
+	hists := map[key]*mergedHist{}
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[key{c.Metric, c.Label}] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[key{g.Metric, g.Label}] += g.Value
+		}
+		for _, h := range s.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			k := key{h.Metric, h.Label}
+			m := hists[k]
+			if m == nil {
+				m = &mergedHist{min: h.Min, max: h.Max}
+				hists[k] = m
+			} else {
+				if h.Min < m.min {
+					m.min = h.Min
+				}
+				if h.Max > m.max {
+					m.max = h.Max
+				}
+			}
+			m.count += h.Count
+			m.sum += h.Sum
+			for _, b := range h.Buckets {
+				if i, ok := bucketIndex(b.Le); ok {
+					m.counts[i] += b.Count
+				}
+			}
+		}
+	}
+	out := Snapshot{
+		Counters:   make([]CounterSnap, 0, len(counters)),
+		Gauges:     make([]GaugeSnap, 0, len(gauges)),
+		Histograms: make([]HistSnap, 0, len(hists)),
+	}
+	for k, v := range counters {
+		out.Counters = append(out.Counters, CounterSnap{Metric: k.Metric, Label: k.Label, Value: v})
+	}
+	for k, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeSnap{Metric: k.Metric, Label: k.Label, Value: v})
+	}
+	for k, m := range hists {
+		h := HistSnap{
+			Metric: k.Metric, Label: k.Label,
+			Count: m.count, Sum: m.sum, Min: m.min, Max: m.max,
+			Mean:      float64(m.sum) / float64(m.count),
+			Quantiles: quantiles(&m.counts, m.count, m.min, m.max),
+		}
+		for i, c := range m.counts {
+			if c == 0 {
+				continue
+			}
+			h.Buckets = append(h.Buckets, struct {
+				Le    string `json:"le"`
+				Count uint64 `json:"count"`
+			}{Le: bucketName(i), Count: c})
+		}
+		out.Histograms = append(out.Histograms, h)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool {
+		return lessKey(out.Counters[i].Metric, out.Counters[i].Label, out.Counters[j].Metric, out.Counters[j].Label)
+	})
+	sort.Slice(out.Gauges, func(i, j int) bool {
+		return lessKey(out.Gauges[i].Metric, out.Gauges[i].Label, out.Gauges[j].Metric, out.Gauges[j].Label)
+	})
+	sort.Slice(out.Histograms, func(i, j int) bool {
+		return lessKey(out.Histograms[i].Metric, out.Histograms[i].Label, out.Histograms[j].Metric, out.Histograms[j].Label)
+	})
+	return out
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMergeSnapshotsSums: counters and gauges with the same (metric, label)
+// sum across snapshots; distinct series stay distinct; ordering is
+// deterministic.
+func TestMergeSnapshotsSums(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Add("server.requests", "/analyze", 3)
+	r1.Set("server.up", "listening", 1)
+	r1.Inc("cache.hit", "mem")
+	r2.Add("server.requests", "/analyze", 4)
+	r2.Add("server.requests", "/batch", 2)
+	r2.Set("server.up", "listening", 1)
+
+	m := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	want := map[[2]string]uint64{
+		{"cache.hit", "mem"}:            1,
+		{"server.requests", "/analyze"}: 7,
+		{"server.requests", "/batch"}:   2,
+	}
+	if len(m.Counters) != len(want) {
+		t.Fatalf("merged %d counter series, want %d: %+v", len(m.Counters), len(want), m.Counters)
+	}
+	for _, c := range m.Counters {
+		if c.Value != want[[2]string{c.Metric, c.Label}] {
+			t.Errorf("%s{%s} = %d, want %d", c.Metric, c.Label, c.Value, want[[2]string{c.Metric, c.Label}])
+		}
+	}
+	if len(m.Gauges) != 1 || m.Gauges[0].Value != 2 {
+		t.Fatalf("server.up should sum to 2 across shards, got %+v", m.Gauges)
+	}
+	// Deterministic ordering: re-merging in the other order is identical.
+	var a, b bytes.Buffer
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeSnapshots(r2.Snapshot(), r1.Snapshot()).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("merge order changed the serialized snapshot")
+	}
+}
+
+// TestMergeSnapshotsHistograms: merged bucket counts equal those of one
+// registry that observed every sample, and the recomputed quantiles match
+// that reference registry's exactly (same buckets, same estimator).
+func TestMergeSnapshotsHistograms(t *testing.T) {
+	r1, r2, ref := NewRegistry(), NewRegistry(), NewRegistry()
+	samples1 := []uint64{1, 3, 7, 100, 5000}
+	samples2 := []uint64{2, 9, 80, 80000, 1 << 40}
+	for _, v := range samples1 {
+		r1.Observe("lat.ns", "/analyze", v)
+		ref.Observe("lat.ns", "/analyze", v)
+	}
+	for _, v := range samples2 {
+		r2.Observe("lat.ns", "/analyze", v)
+		ref.Observe("lat.ns", "/analyze", v)
+	}
+	m := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	if len(m.Histograms) != 1 {
+		t.Fatalf("merged %d histogram series, want 1", len(m.Histograms))
+	}
+	got := m.Histograms[0]
+	want := ref.Snapshot().Histograms[0]
+	if got.Count != want.Count || got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("merged stats {count %d sum %d min %d max %d}, want {%d %d %d %d}",
+			got.Count, got.Sum, got.Min, got.Max, want.Count, want.Sum, want.Min, want.Max)
+	}
+	if got.Quantiles != want.Quantiles {
+		t.Errorf("merged quantiles %+v, want reference registry's %+v", got.Quantiles, want.Quantiles)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged %d buckets, want %d", len(got.Buckets), len(want.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d: %+v, want %+v", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+	if got.Window != nil {
+		t.Error("merged histogram carries a rolling window; shard windows are not epoch-aligned and must not merge")
+	}
+}
+
+// TestMergedSnapshotWriteProm: the merged snapshot renders through the same
+// Prometheus encoder as a live registry.
+func TestMergedSnapshotWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("gateway.hedge", "fired")
+	r.Observe("lat.ns", "x", 42)
+	var buf bytes.Buffer
+	if err := MergeSnapshots(r.Snapshot(), r.Snapshot()).WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `gateway_hedge{label="fired"} 2`) {
+		t.Errorf("prom output lacks the summed counter:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE lat_ns summary") {
+		t.Errorf("prom output lacks the histogram summary family:\n%s", out)
+	}
+}
+
+// TestBucketIndexRoundTrip: bucketIndex inverts bucketName over the whole
+// bucket range and rejects labels no registry emits.
+func TestBucketIndexRoundTrip(t *testing.T) {
+	for i := 0; i <= 64; i++ {
+		got, ok := bucketIndex(bucketName(i))
+		if !ok || got != i {
+			t.Errorf("bucketIndex(bucketName(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "0", "3", "abc", "-4"} {
+		if _, ok := bucketIndex(bad); ok {
+			t.Errorf("bucketIndex(%q) accepted a non-bucket label", bad)
+		}
+	}
+}

@@ -92,6 +92,22 @@ func (b *breaker) record(res batch.Result, threshold int, now time.Time) (trippe
 	return false
 }
 
+// remaining reports how much of the open cooldown is left before the next
+// half-open probe: what an honest Retry-After should say. Zero when closed
+// or already due for a probe.
+func (b *breaker) remaining(now time.Time, cooldown time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return 0
+	}
+	rem := cooldown - now.Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
 // idle reports whether the breaker is safe to forget: closed, with no probe
 // outstanding. Evicting an idle breaker only loses a partial fail streak.
 func (b *breaker) idle() bool {
@@ -179,6 +195,18 @@ func (s *breakerSet) evict() {
 	s.remove(victim)
 	delete(s.m, victim.key)
 	s.metrics.Inc("server.breaker_evict", label)
+}
+
+// peek returns the key's breaker, or nil, without creating one or
+// refreshing its LRU position — a read-side lookup must not keep a breaker
+// alive.
+func (s *breakerSet) peek(key string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.m[key]; e != nil {
+		return e.b
+	}
+	return nil
 }
 
 // len reports the number of tracked breakers.

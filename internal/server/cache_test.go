@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -269,5 +270,72 @@ func TestRetryAfterDerived(t *testing.T) {
 	s.inSystem.Store(3)
 	if got := s.retryAfterSeconds(); got != 1 {
 		t.Errorf("Retry-After for a 400ms backlog = %d, want 1", got)
+	}
+}
+
+// TestCanceledLeaderDoesNotPoisonFollowers pins the shared-computation
+// contract behind sharedContext: the singleflight leader's client hanging up
+// must not cancel the engine run that coalesced followers are waiting on. A
+// hedging gateway cancels its losing request as a matter of course — before
+// this contract, that loser could be a flight's leader, and every innocent
+// follower got its "canceled" 503.
+func TestCanceledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	m := obs.NewRegistry()
+	cat, started, unblock := gatedCatalog()
+	c, err := cache.New(cache.Config{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Jobs: 4, Queue: 8, Catalog: cat, Metrics: m, Cache: c})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer unblock()
+	url := ts.URL + "/analyze?pair=" + cat[0].Instruction + "/" + cat[0].Operator
+
+	// Leader: a client that will hang up mid-run.
+	leaderCtx, hangUp := context.WithCancel(context.Background())
+	defer hangUp()
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(leaderCtx, http.MethodGet, url, nil)
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leaderErr <- err
+	}()
+	<-started // the leader is inside the engine, holding the flight
+
+	// Follower coalesces onto the leader's flight.
+	followerStatus := make(chan int, 1)
+	followerRes := make(chan batch.Result, 1)
+	go func() {
+		status, res := getResult(t, ts.Client(), url)
+		followerStatus <- status
+		followerRes <- res
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Counter("cache.coalesced", "") < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Counter("cache.coalesced", ""); got < 1 {
+		t.Fatal("follower never coalesced onto the leader's flight")
+	}
+
+	// The leader's client hangs up; give the cancellation time to (wrongly)
+	// reach the engine context before the run is allowed to proceed.
+	hangUp()
+	if err := <-leaderErr; err == nil {
+		t.Error("leader's canceled request returned no error")
+	}
+	time.Sleep(50 * time.Millisecond)
+	unblock()
+
+	if status := <-followerStatus; status != http.StatusOK {
+		res := <-followerRes
+		t.Fatalf("follower: status %d outcome %q (%s), want 200 ok", status, res.Outcome, res.Error)
+	}
+	if res := <-followerRes; res.Outcome != "ok" {
+		t.Fatalf("follower outcome %q (%s), want ok", res.Outcome, res.Error)
 	}
 }

@@ -357,6 +357,29 @@ func (s *Server) requestContext(req *http.Request, explicit time.Duration) (cont
 	}
 }
 
+// sharedContext derives the context for a coalescing (singleflight) engine
+// run. The computation is shared: followers who coalesced onto this flight
+// must not lose their answer because the leader's client hung up — a hedging
+// gateway cancels its losing request as a matter of course, and that loser
+// may be the leader of a flight other clients are waiting on. So the
+// client's cancellation is dropped (request values — trace ID, tracer —
+// carry over) and the run's lifetime is owned by the server: bounded by the
+// request timeout and cut by the drain hard-stop, nothing else.
+func (s *Server) sharedContext(req *http.Request, explicit time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.WithoutCancel(req.Context()))
+	stop := context.AfterFunc(s.workCtx, cancel)
+	d := explicit
+	if d <= 0 {
+		d = s.cfg.requestTimeout()
+	}
+	tctx, tcancel := context.WithTimeout(ctx, d)
+	return tctx, func() {
+		tcancel()
+		stop()
+		cancel()
+	}
+}
+
 // parseTimeout reads a `timeout` query parameter (Go duration syntax).
 func parseTimeout(req *http.Request) (time.Duration, error) {
 	v := req.URL.Query().Get("timeout")
@@ -453,7 +476,15 @@ func (s *Server) writeResult(w http.ResponseWriter, req *http.Request, res batch
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if res.Outcome == "circuit-open" {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.breakerCooldown()/time.Second)+1))
+		// An honest Retry-After: the cooldown actually left on this pair's
+		// breaker (floor 1s), not the full configured cooldown — a client
+		// arriving late in the cooldown should come back for the probe, not
+		// a whole cooldown later.
+		retry := s.cfg.breakerCooldown()
+		if br := s.breakers.peek(res.Machine + "/" + res.Instruction); br != nil {
+			retry = br.remaining(time.Now(), s.cfg.breakerCooldown())
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
 	}
 	w.WriteHeader(statusFor(res.Outcome))
 	json.NewEncoder(w).Encode(&res)
@@ -527,7 +558,7 @@ func (s *Server) analyzeCached(w http.ResponseWriter, req *http.Request, a *proo
 			return cache.Entry{}, false
 		}
 		defer release()
-		ctx, cancel := s.requestContext(req, d)
+		ctx, cancel := s.sharedContext(req, d)
 		defer cancel()
 		res, bound := s.runPair(ctx, a)
 		e := cache.Entry{Result: res}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -225,6 +226,64 @@ func TestAdmissionShedding(t *testing.T) {
 		if r.status != http.StatusOK || r.outcome != "ok" {
 			t.Errorf("admitted request %d: status %d outcome %s, want 200/ok", i, r.status, r.outcome)
 		}
+	}
+}
+
+// TestBreakerRetryAfterRemainingCooldown: an open breaker's 503 advertises
+// the cooldown actually left, not the full configured cooldown — a client
+// arriving late in the window is told to come back for the probe, floored
+// at 1s.
+func TestBreakerRetryAfterRemainingCooldown(t *testing.T) {
+	a := proofs.Movc3PC2()
+	a.Script = func(*core.Session) error { panic("injected fault") }
+	const cooldown = 100 * time.Second
+	s := New(Config{
+		Catalog: []*proofs.Analysis{a}, Metrics: obs.NewRegistry(),
+		BreakerThreshold: 1, BreakerCooldown: cooldown,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := fmt.Sprintf("%s/analyze?pair=%s/%s", ts.URL, a.Instruction, a.Operator)
+	if status, res := getResult(t, ts.Client(), url); status != http.StatusInternalServerError {
+		t.Fatalf("tripping fault: status %d outcome %s", status, res.Outcome)
+	}
+	retryAfter := func() int {
+		t.Helper()
+		resp, err := ts.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+		}
+		n, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer", resp.Header.Get("Retry-After"))
+		}
+		return n
+	}
+	key := a.Machine + "/" + a.Instruction
+	if got := retryAfter(); got < 95 || got > 101 {
+		t.Fatalf("freshly opened: Retry-After = %ds, want ~%v", got, cooldown)
+	}
+	backdate := func(age time.Duration) {
+		br := s.breakers.peek(key)
+		if br == nil {
+			t.Fatal("no breaker for the tripped pair")
+		}
+		br.mu.Lock()
+		br.openedAt = time.Now().Add(-age)
+		br.mu.Unlock()
+	}
+	backdate(70 * time.Second)
+	if got := retryAfter(); got < 28 || got > 32 {
+		t.Fatalf("70s into the cooldown: Retry-After = %ds, want ~30s remaining", got)
+	}
+	backdate(cooldown - 300*time.Millisecond)
+	if got := retryAfter(); got != 1 {
+		t.Fatalf("300ms before the probe: Retry-After = %ds, want the 1s floor", got)
 	}
 }
 
