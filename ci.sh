@@ -29,8 +29,21 @@ test -s BENCH_PR3.json
 # PR 5 bench: the same /analyze request served cold (full engine run) versus
 # warm (content-addressed cache hit). The warm row must be at least 10x
 # faster; BENCH_PR5.json carries the reviewed numbers.
-go test -run '^$' -bench 'BenchmarkCacheWarmVsCold' -benchmem -benchtime 20x -count 1 . | go run ./cmd/benchjson -o BENCH_PR5.json
+#
+# PR 8 rides the same run: hash-consed ASTs with persistent spine rebuilds
+# halved the cold path's allocation bill, and the cold row is gated at
+# <= 9300 allocs/op (50% of the 18,565 the PR 5 baseline recorded), so a
+# change that quietly reintroduces full-tree cloning on the hot path fails
+# CI instead of landing as an anecdote.
+BENCH_COLD=$(mktemp)
+go test -run '^$' -bench 'BenchmarkCacheWarmVsCold' -benchmem -benchtime 20x -count 1 . | tee "$BENCH_COLD" | go run ./cmd/benchjson -o BENCH_PR5.json
 test -s BENCH_PR5.json
+go run ./cmd/benchjson -o BENCH_PR8.json <"$BENCH_COLD"
+test -s BENCH_PR8.json
+COLD_ALLOCS=$(awk '$1 ~ /BenchmarkCacheWarmVsCold\/cold/ { for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }' "$BENCH_COLD")
+test -n "$COLD_ALLOCS"
+test "$COLD_ALLOCS" -le 9300
+rm -f "$BENCH_COLD"
 
 # Serve smoke: boot the real binary, run one analysis over HTTP, scrape
 # /metrics in both encodings (JSON default, Prometheus text exposition via

@@ -118,9 +118,11 @@ func run(args []string) error {
 		sub := args[0]
 		fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 		cacheDir := fs.String("cache-dir", "", "serve warm results from (and persist cold ones to) this cache `directory`")
+		checkHashes := fs.Bool("check-hashes", false, "verify every auto-search state digest against its full state key (collision check; slower)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
+		core.SetHashCheck(*checkHashes)
 		if fs.NArg() != 1 {
 			return fmt.Errorf("usage: extra %s [-cache-dir DIR] INSTRUCTION/OPERATOR (e.g. scasb/index)", sub)
 		}
@@ -783,9 +785,11 @@ func batchCmd(ctx context.Context, args []string) error {
 	asJSONL := fs.String("jsonl", "", "journal rows to `file` as crash-safe JSONL (\"-\" = stdout, not crash-safe)")
 	resume := fs.String("resume", "", "skip rows already journaled in `file` (a previous -jsonl run)")
 	cacheDir := fs.String("cache-dir", "", "warm-start from (and persist results to) the content-addressed cache in `directory`")
+	checkHashes := fs.Bool("check-hashes", false, "verify every auto-search state digest against its full state key (collision check; slower)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	core.SetHashCheck(*checkHashes)
 	if *asJSON != "" && *asJSONL != "" {
 		return fmt.Errorf("-json and -jsonl are mutually exclusive")
 	}

@@ -119,6 +119,13 @@ type expCand struct {
 // off.
 var autoHashCheck atomic.Bool
 
+// SetHashCheck toggles the auto-search visited set's hash-collision check
+// mode process-wide (the `-check-hashes` flag on `extra analyze`/`batch`).
+// With it on, every accepted digest is verified against the full formatted
+// state key, so a 128-bit collision surfaces as a hard error instead of a
+// silently pruned branch.
+func SetHashCheck(on bool) { autoHashCheck.Store(on) }
+
 // AutoComplete searches for a sequence of argument-free preserving
 // transformations that brings the session's two descriptions into common
 // form, applying it to the session (each found step is recorded like a
@@ -258,7 +265,11 @@ func (s *Session) autoComplete(ctx context.Context, maxDepth, budget, rung, rung
 				if !vs.accept(cand.digest, cand.order) {
 					continue // seen in an earlier level, or a within-level duplicate
 				}
-				st := &autoState{op: cand.newOp, ins: cand.newIns, parent: frontier[si], step: cand.autoStep}
+				// Intern only merge-accepted states: rejected candidates
+				// never pay the canonicalization walk, and accepted ones
+				// share structure with their frontier parents so the next
+				// level's digests and Equal checks answer from memos.
+				st := &autoState{op: isps.InternDesc(cand.newOp), ins: isps.InternDesc(cand.newIns), parent: frontier[si], step: cand.autoStep}
 				if cand.goal {
 					if cerr := vs.err(); cerr != nil {
 						return 0, cerr
@@ -476,9 +487,8 @@ func (s *Session) autoCandidates(op, ins *isps.Description) []autoCand {
 		byKind := map[string][]sited{}
 		isps.Walk(d, func(n isps.Node, p isps.Path) bool {
 			if k := nodeKind(n); k != "" && wantKind[k] {
-				// Walk hands each node a freshly built path, so it can be
-				// retained without copying.
-				byKind[k] = append(byKind[k], sited{p: p, n: n})
+				// Walk reuses its path buffer; retained paths must be copied.
+				byKind[k] = append(byKind[k], sited{p: append(isps.Path(nil), p...), n: n})
 			}
 			return true
 		})

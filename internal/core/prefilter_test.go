@@ -42,7 +42,7 @@ func TestExprGatesSound(t *testing.T) {
 		var exprs []site
 		isps.Walk(d, func(n isps.Node, p isps.Path) bool {
 			if e, ok := n.(isps.Expr); ok {
-				exprs = append(exprs, site{p: p, e: e})
+				exprs = append(exprs, site{p: append(isps.Path(nil), p...), e: e})
 			}
 			return true
 		})

@@ -140,19 +140,24 @@ func (s *Session) ctxErr(op string) error {
 }
 
 // NewSession starts an analysis of instruction ins against operator op.
+// Both descriptions are interned: the session's working trees are immutable
+// and hash-consed, every Apply commits a freshly interned tree, and the six
+// description fields alias canonical nodes instead of each holding a deep
+// clone (six full-tree clones per session before hash-consing).
 func NewSession(op, ins *isps.Description) (*Session, error) {
 	for _, d := range []*isps.Description{op, ins} {
 		if err := isps.Validate(d); err != nil {
 			return nil, err
 		}
 	}
+	cop, cins := isps.InternDesc(op), isps.InternDesc(ins)
 	return &Session{
-		Op:        op.CloneDesc(),
-		Ins:       ins.CloneDesc(),
-		OrigOp:    op.CloneDesc(),
-		OrigIns:   ins.CloneDesc(),
-		Variant:   ins.CloneDesc(),
-		OpVariant: op.CloneDesc(),
+		Op:        cop,
+		Ins:       cins,
+		OrigOp:    cop,
+		OrigIns:   cins,
+		Variant:   cins,
+		OpVariant: cop,
 		Metrics:   obs.Default(),
 		snapshots: map[string]*isps.Description{},
 	}, nil
@@ -240,7 +245,10 @@ func safeTransformApply(tr *transform.Transformation, d *isps.Description, at is
 // guardApply is the session's fault boundary around one application: the
 // cursor path is resolved up front (a malformed path yields a typed
 // *fault.PathError, errors.As-able, carrying side, transformation and
-// path) and any panic out of the application is converted likewise. The
+// path) and any panic out of the application is converted likewise. A
+// typed *isps.NodeError out of the rewrite — a wrong-kinded replacement or
+// an attempt to mutate an interned node — is wrapped the same way, so kind
+// mismatches classify as path faults without relying on the panic net. The
 // session state is untouched on failure because Apply commits only after a
 // successful return.
 func guardApply(tr *transform.Transformation, d *isps.Description, side Side, name string, at isps.Path, args transform.Args) (*transform.Outcome, error) {
@@ -248,7 +256,8 @@ func guardApply(tr *transform.Transformation, d *isps.Description, side Side, na
 		return nil, &fault.PathError{Side: side.String(), Xform: name, Path: at.String(), Err: rerr}
 	}
 	out, err := safeTransformApply(tr, d, at, args)
-	if err != nil && fault.IsPanic(err) {
+	var ne *isps.NodeError
+	if err != nil && (fault.IsPanic(err) || errors.As(err, &ne)) {
 		return nil, &fault.PathError{Side: side.String(), Xform: name, Path: at.String(), Err: err}
 	}
 	return out, err
@@ -302,15 +311,21 @@ func (s *Session) Apply(side Side, name string, at isps.Path, args transform.Arg
 		return err
 	}
 	s.noteApply(side, name, at, dur, outcomeApplied, out.Note)
+	// Commit the interned tree. Persistent transforms hand back a spine
+	// rebuild over the (already interned) previous state, so interning here
+	// re-freezes only the spine; clone-based transforms pay one full intern
+	// walk. Variant fields alias the canonical tree — immutability makes the
+	// old defensive clones redundant.
+	nd := isps.InternDesc(out.Desc)
 	if side == OpSide {
-		s.Op = out.Desc
+		s.Op = nd
 		if tr.Effect != transform.Preserving {
-			s.OpVariant = out.Desc.CloneDesc()
+			s.OpVariant = nd
 		}
 	} else {
-		s.Ins = out.Desc
+		s.Ins = nd
 		if tr.Effect != transform.Preserving {
-			s.Variant = out.Desc.CloneDesc()
+			s.Variant = nd
 		}
 	}
 	edits := out.Rewrites
@@ -350,17 +365,21 @@ func (s *Session) MustApply(side Side, name string, at isps.Path, args transform
 // quantity the paper's Table 2 records per analysis.
 func (s *Session) StepCount() int { return len(s.Steps) }
 
-// Snapshot stores a copy of the given side's current description under a
-// label; the paper's figures 4 and 5 are such intermediate stages.
+// Snapshot stores the given side's current description under a label; the
+// paper's figures 4 and 5 are such intermediate stages. Interning (a
+// pointer copy when the session state is already canonical) replaces the
+// old defensive clone: an interned snapshot cannot be mutated out from
+// under the label.
 func (s *Session) Snapshot(label string, side Side) {
-	s.snapshots[label] = s.Desc(side).CloneDesc()
+	s.snapshots[label] = isps.InternDesc(s.Desc(side))
 }
 
-// Snapshots returns the labeled intermediate descriptions.
+// Snapshots returns the labeled intermediate descriptions. The returned
+// trees are interned (immutable), so they are shared rather than cloned.
 func (s *Session) Snapshots() map[string]*isps.Description {
 	out := map[string]*isps.Description{}
 	for k, v := range s.snapshots {
-		out[k] = v.CloneDesc()
+		out[k] = v
 	}
 	return out
 }
@@ -445,8 +464,8 @@ func (s *Session) Finish() (_ *Binding, err error) {
 		Epilogue:    cloneStmts(s.Epilogue),
 		Steps:       s.StepCount(),
 		Elementary:  s.Elementary,
-		Variant:     s.Variant.CloneDesc(),
-		Operator:    s.OpVariant.CloneDesc(),
+		Variant:     isps.InternDesc(s.Variant),
+		Operator:    isps.InternDesc(s.OpVariant),
 	}
 	for _, e := range s.RemovedOutputs {
 		b.RemovedOutputs = append(b.RemovedOutputs, e.Clone().(isps.Expr))

@@ -75,8 +75,8 @@ func (s *Session) Normalize(side Side) (int, error) {
 		var paths []cand
 		isps.Walk(d, func(n isps.Node, p isps.Path) bool {
 			if k := nodeKind(n); k != "" && wantKind[k] {
-				// Walk hands out freshly built paths; no copy needed.
-				paths = append(paths, cand{p: p, kind: k})
+				// Walk reuses its path buffer; retained paths must be copied.
+				paths = append(paths, cand{p: append(isps.Path(nil), p...), kind: k})
 			}
 			return true
 		})

@@ -9,6 +9,13 @@
 // output). Main memory is the byte array Mb. The language is restricted to
 // eliminate aliasing (call-by-value only, niladic functions), which keeps
 // the data flow computations used by the transformation library simple.
+//
+// Nodes are hash-consed: Intern canonicalizes a tree so structurally equal
+// subtrees become the same pointer, with the 128-bit structural digest
+// memoized on the node. Interned nodes are immutable — SetChild refuses
+// with ErrFrozen — and edits go through the persistent-update API
+// (ReplaceAt, SpliceAt), which rebuilds only the spine above the edit and
+// shares everything else.
 package isps
 
 import "fmt"
@@ -21,10 +28,12 @@ type Node interface {
 	NumChildren() int
 	// Child returns the i-th child node. It panics if i is out of range.
 	Child(i int) Node
-	// SetChild replaces the i-th child in place. It panics if i is out of
-	// range or if the node kind is not acceptable at that position.
-	SetChild(i int, n Node)
-	// Clone returns a deep copy of the node.
+	// SetChild replaces the i-th child in place. It returns a *NodeError
+	// wrapping ErrChildRange, ErrChildKind or ErrFrozen if i is out of
+	// range, the node kind is not acceptable at that position, or the
+	// receiver has been interned (interned nodes are immutable).
+	SetChild(i int, n Node) error
+	// Clone returns a deep, mutable copy of the node.
 	Clone() Node
 }
 
@@ -51,6 +60,7 @@ type Decl interface {
 // Description is a complete ISPS-like description of an instruction or a
 // language operator, e.g. "scasb.instruction := begin ... end".
 type Description struct {
+	meta
 	// Name is the full dotted name, e.g. "scasb.instruction" or
 	// "index.operation".
 	Name string
@@ -61,6 +71,7 @@ type Description struct {
 
 // Section is a named group of declarations, written "** NAME **".
 type Section struct {
+	meta
 	Name  string
 	Decls []Decl
 }
@@ -74,6 +85,7 @@ type Section struct {
 //	Src.Base: integer   an unbounded operator variable
 //	ch: character       an 8-bit operator variable
 type RegDecl struct {
+	meta
 	Name string
 	// Width is the width in bits; 0 means unbounded ("integer").
 	Width int
@@ -86,6 +98,7 @@ type RegDecl struct {
 // fetch(). The function's value is whatever was last assigned to its own
 // name inside the body; calls may have side effects on registers.
 type FuncDecl struct {
+	meta
 	Name string
 	// Width is the width in bits of the returned value; 0 means unbounded.
 	Width   int
@@ -97,6 +110,7 @@ type FuncDecl struct {
 // scasb.execute or index.execute. A description's entry point is its single
 // routine.
 type RoutineDecl struct {
+	meta
 	Name string
 	Body *Block
 }
@@ -104,11 +118,13 @@ type RoutineDecl struct {
 // Block is a statement sequence delimited by begin/end (or then/else bodies,
 // or a repeat body).
 type Block struct {
+	meta
 	Stmts []Stmt
 }
 
 // AssignStmt is "lhs <- rhs;". LHS is an Ident or a Mem reference.
 type AssignStmt struct {
+	meta
 	LHS Expr
 	RHS Expr
 }
@@ -116,6 +132,7 @@ type AssignStmt struct {
 // IfStmt is "if cond then ... else ... end_if". Else is never nil; an empty
 // else block prints as no else clause.
 type IfStmt struct {
+	meta
 	Cond Expr
 	Then *Block
 	Else *Block
@@ -124,24 +141,28 @@ type IfStmt struct {
 // RepeatStmt is "repeat ... end_repeat", an infinite loop terminated only by
 // exit_when statements in its body.
 type RepeatStmt struct {
+	meta
 	Body *Block
 }
 
 // ExitWhenStmt is "exit_when (cond);". It exits the innermost repeat loop
 // when cond is true (nonzero).
 type ExitWhenStmt struct {
+	meta
 	Cond Expr
 }
 
 // InputStmt is "input(a, b, c);", declaring the operands the description
 // consumes, in order.
 type InputStmt struct {
+	meta
 	Names []string
 }
 
 // OutputStmt is "output(e1, e2);", producing the description's results, in
 // order.
 type OutputStmt struct {
+	meta
 	Exprs []Expr
 }
 
@@ -149,6 +170,7 @@ type OutputStmt struct {
 // manipulated by constraint-and-assertion transformations (paper section 5).
 // Assertions are proof annotations; the interpreter checks them.
 type AssertStmt struct {
+	meta
 	Cond Expr
 }
 
@@ -208,35 +230,41 @@ func (o Op) IsBoolean() bool {
 
 // Ident is a variable or register reference such as di or Src.Length.
 type Ident struct {
+	meta
 	Name string
 }
 
 // Num is an integer literal. Character literals like 'a' are numbers with
 // IsChar set, so they print back as characters.
 type Num struct {
+	meta
 	Val    int64
 	IsChar bool
 }
 
 // Bin is a binary operation "x op y".
 type Bin struct {
+	meta
 	Op   Op
 	X, Y Expr
 }
 
 // Un is a unary operation "op x" (not, or arithmetic negation).
 type Un struct {
+	meta
 	Op Op
 	X  Expr
 }
 
 // Mem is a main-memory byte reference "Mb[addr]".
 type Mem struct {
+	meta
 	Addr Expr
 }
 
 // Call is a niladic function call such as fetch() or read().
 type Call struct {
+	meta
 	Name string
 }
 
@@ -279,7 +307,20 @@ func (d *Description) NumChildren() int { return len(d.Sections) }
 func (d *Description) Child(i int) Node { return d.Sections[i] }
 
 // SetChild replaces the i-th section.
-func (d *Description) SetChild(i int, n Node) { d.Sections[i] = n.(*Section) }
+func (d *Description) SetChild(i int, n Node) error {
+	if d.frozen() {
+		return errFrozen(d, i)
+	}
+	s, ok := n.(*Section)
+	if !ok {
+		return errKind(d, i, n)
+	}
+	if i < 0 || i >= len(d.Sections) {
+		return errRange(d, i)
+	}
+	d.Sections[i] = s
+	return nil
+}
 
 // Clone returns a deep copy of the description.
 func (d *Description) Clone() Node {
@@ -300,7 +341,20 @@ func (s *Section) NumChildren() int { return len(s.Decls) }
 func (s *Section) Child(i int) Node { return s.Decls[i] }
 
 // SetChild replaces the i-th declaration.
-func (s *Section) SetChild(i int, n Node) { s.Decls[i] = n.(Decl) }
+func (s *Section) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
+	}
+	d, ok := n.(Decl)
+	if !ok {
+		return errKind(s, i, n)
+	}
+	if i < 0 || i >= len(s.Decls) {
+		return errRange(s, i)
+	}
+	s.Decls[i] = d
+	return nil
+}
 
 // Clone returns a deep copy of the section.
 func (s *Section) Clone() Node {
@@ -317,11 +371,13 @@ func (d *RegDecl) NumChildren() int { return 0 }
 // Child panics: register declarations are leaves.
 func (d *RegDecl) Child(i int) Node { panic(childOutOfRange(d, i)) }
 
-// SetChild panics: register declarations are leaves.
-func (d *RegDecl) SetChild(i int, n Node) { panic(childOutOfRange(d, i)) }
+// SetChild fails: register declarations are leaves.
+func (d *RegDecl) SetChild(i int, n Node) error { return errRange(d, i) }
 
 // Clone returns a copy of the declaration.
-func (d *RegDecl) Clone() Node { c := *d; return &c }
+func (d *RegDecl) Clone() Node {
+	return &RegDecl{Name: d.Name, Width: d.Width, Comment: d.Comment}
+}
 
 // NumChildren returns 1 (the body).
 func (d *FuncDecl) NumChildren() int { return 1 }
@@ -335,18 +391,25 @@ func (d *FuncDecl) Child(i int) Node {
 }
 
 // SetChild replaces the body.
-func (d *FuncDecl) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(d, i))
+func (d *FuncDecl) SetChild(i int, n Node) error {
+	if d.frozen() {
+		return errFrozen(d, i)
 	}
-	d.Body = n.(*Block)
+	b, ok := n.(*Block)
+	if !ok {
+		return errKind(d, i, n)
+	}
+	if i != 0 {
+		return errRange(d, i)
+	}
+	d.Body = b
+	return nil
 }
 
 // Clone returns a deep copy of the function declaration.
 func (d *FuncDecl) Clone() Node {
-	c := *d
-	c.Body = d.Body.Clone().(*Block)
-	return &c
+	return &FuncDecl{Name: d.Name, Width: d.Width, Comment: d.Comment,
+		Body: d.Body.Clone().(*Block)}
 }
 
 // NumChildren returns 1 (the body).
@@ -361,18 +424,24 @@ func (d *RoutineDecl) Child(i int) Node {
 }
 
 // SetChild replaces the body.
-func (d *RoutineDecl) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(d, i))
+func (d *RoutineDecl) SetChild(i int, n Node) error {
+	if d.frozen() {
+		return errFrozen(d, i)
 	}
-	d.Body = n.(*Block)
+	b, ok := n.(*Block)
+	if !ok {
+		return errKind(d, i, n)
+	}
+	if i != 0 {
+		return errRange(d, i)
+	}
+	d.Body = b
+	return nil
 }
 
 // Clone returns a deep copy of the routine declaration.
 func (d *RoutineDecl) Clone() Node {
-	c := *d
-	c.Body = d.Body.Clone().(*Block)
-	return &c
+	return &RoutineDecl{Name: d.Name, Body: d.Body.Clone().(*Block)}
 }
 
 // NumChildren returns the number of statements.
@@ -382,7 +451,20 @@ func (b *Block) NumChildren() int { return len(b.Stmts) }
 func (b *Block) Child(i int) Node { return b.Stmts[i] }
 
 // SetChild replaces the i-th statement.
-func (b *Block) SetChild(i int, n Node) { b.Stmts[i] = n.(Stmt) }
+func (b *Block) SetChild(i int, n Node) error {
+	if b.frozen() {
+		return errFrozen(b, i)
+	}
+	s, ok := n.(Stmt)
+	if !ok {
+		return errKind(b, i, n)
+	}
+	if i < 0 || i >= len(b.Stmts) {
+		return errRange(b, i)
+	}
+	b.Stmts[i] = s
+	return nil
+}
 
 // Clone returns a deep copy of the block.
 func (b *Block) Clone() Node {
@@ -408,15 +490,23 @@ func (s *AssignStmt) Child(i int) Node {
 }
 
 // SetChild replaces LHS (0) or RHS (1).
-func (s *AssignStmt) SetChild(i int, n Node) {
+func (s *AssignStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
+	}
+	e, ok := n.(Expr)
+	if !ok {
+		return errKind(s, i, n)
+	}
 	switch i {
 	case 0:
-		s.LHS = n.(Expr)
+		s.LHS = e
 	case 1:
-		s.RHS = n.(Expr)
+		s.RHS = e
 	default:
-		panic(childOutOfRange(s, i))
+		return errRange(s, i)
 	}
+	return nil
 }
 
 // Clone returns a deep copy of the assignment.
@@ -441,17 +531,31 @@ func (s *IfStmt) Child(i int) Node {
 }
 
 // SetChild replaces Cond (0), Then (1) or Else (2).
-func (s *IfStmt) SetChild(i int, n Node) {
+func (s *IfStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
+	}
 	switch i {
 	case 0:
-		s.Cond = n.(Expr)
-	case 1:
-		s.Then = n.(*Block)
-	case 2:
-		s.Else = n.(*Block)
+		e, ok := n.(Expr)
+		if !ok {
+			return errKind(s, i, n)
+		}
+		s.Cond = e
+	case 1, 2:
+		b, ok := n.(*Block)
+		if !ok {
+			return errKind(s, i, n)
+		}
+		if i == 1 {
+			s.Then = b
+		} else {
+			s.Else = b
+		}
 	default:
-		panic(childOutOfRange(s, i))
+		return errRange(s, i)
 	}
+	return nil
 }
 
 // Clone returns a deep copy of the conditional.
@@ -475,11 +579,19 @@ func (s *RepeatStmt) Child(i int) Node {
 }
 
 // SetChild replaces the body.
-func (s *RepeatStmt) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(s, i))
+func (s *RepeatStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
 	}
-	s.Body = n.(*Block)
+	b, ok := n.(*Block)
+	if !ok {
+		return errKind(s, i, n)
+	}
+	if i != 0 {
+		return errRange(s, i)
+	}
+	s.Body = b
+	return nil
 }
 
 // Clone returns a deep copy of the loop.
@@ -497,11 +609,19 @@ func (s *ExitWhenStmt) Child(i int) Node {
 }
 
 // SetChild replaces the condition.
-func (s *ExitWhenStmt) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(s, i))
+func (s *ExitWhenStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
 	}
-	s.Cond = n.(Expr)
+	e, ok := n.(Expr)
+	if !ok {
+		return errKind(s, i, n)
+	}
+	if i != 0 {
+		return errRange(s, i)
+	}
+	s.Cond = e
+	return nil
 }
 
 // Clone returns a deep copy of the exit statement.
@@ -513,8 +633,8 @@ func (s *InputStmt) NumChildren() int { return 0 }
 // Child panics: input statements are leaves.
 func (s *InputStmt) Child(i int) Node { panic(childOutOfRange(s, i)) }
 
-// SetChild panics: input statements are leaves.
-func (s *InputStmt) SetChild(i int, n Node) { panic(childOutOfRange(s, i)) }
+// SetChild fails: input statements are leaves.
+func (s *InputStmt) SetChild(i int, n Node) error { return errRange(s, i) }
 
 // Clone returns a copy of the input statement.
 func (s *InputStmt) Clone() Node {
@@ -528,7 +648,20 @@ func (s *OutputStmt) NumChildren() int { return len(s.Exprs) }
 func (s *OutputStmt) Child(i int) Node { return s.Exprs[i] }
 
 // SetChild replaces the i-th result expression.
-func (s *OutputStmt) SetChild(i int, n Node) { s.Exprs[i] = n.(Expr) }
+func (s *OutputStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
+	}
+	e, ok := n.(Expr)
+	if !ok {
+		return errKind(s, i, n)
+	}
+	if i < 0 || i >= len(s.Exprs) {
+		return errRange(s, i)
+	}
+	s.Exprs[i] = e
+	return nil
+}
 
 // Clone returns a deep copy of the output statement.
 func (s *OutputStmt) Clone() Node {
@@ -551,11 +684,19 @@ func (s *AssertStmt) Child(i int) Node {
 }
 
 // SetChild replaces the condition.
-func (s *AssertStmt) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(s, i))
+func (s *AssertStmt) SetChild(i int, n Node) error {
+	if s.frozen() {
+		return errFrozen(s, i)
 	}
-	s.Cond = n.(Expr)
+	e, ok := n.(Expr)
+	if !ok {
+		return errKind(s, i, n)
+	}
+	if i != 0 {
+		return errRange(s, i)
+	}
+	s.Cond = e
+	return nil
 }
 
 // Clone returns a deep copy of the assertion.
@@ -567,11 +708,11 @@ func (e *Ident) NumChildren() int { return 0 }
 // Child panics: identifiers are leaves.
 func (e *Ident) Child(i int) Node { panic(childOutOfRange(e, i)) }
 
-// SetChild panics: identifiers are leaves.
-func (e *Ident) SetChild(i int, n Node) { panic(childOutOfRange(e, i)) }
+// SetChild fails: identifiers are leaves.
+func (e *Ident) SetChild(i int, n Node) error { return errRange(e, i) }
 
 // Clone returns a copy of the identifier.
-func (e *Ident) Clone() Node { c := *e; return &c }
+func (e *Ident) Clone() Node { return &Ident{Name: e.Name} }
 
 // NumChildren returns 0.
 func (e *Num) NumChildren() int { return 0 }
@@ -579,11 +720,11 @@ func (e *Num) NumChildren() int { return 0 }
 // Child panics: literals are leaves.
 func (e *Num) Child(i int) Node { panic(childOutOfRange(e, i)) }
 
-// SetChild panics: literals are leaves.
-func (e *Num) SetChild(i int, n Node) { panic(childOutOfRange(e, i)) }
+// SetChild fails: literals are leaves.
+func (e *Num) SetChild(i int, n Node) error { return errRange(e, i) }
 
 // Clone returns a copy of the literal.
-func (e *Num) Clone() Node { c := *e; return &c }
+func (e *Num) Clone() Node { return &Num{Val: e.Val, IsChar: e.IsChar} }
 
 // NumChildren returns 2.
 func (e *Bin) NumChildren() int { return 2 }
@@ -600,15 +741,23 @@ func (e *Bin) Child(i int) Node {
 }
 
 // SetChild replaces X (0) or Y (1).
-func (e *Bin) SetChild(i int, n Node) {
+func (e *Bin) SetChild(i int, n Node) error {
+	if e.frozen() {
+		return errFrozen(e, i)
+	}
+	x, ok := n.(Expr)
+	if !ok {
+		return errKind(e, i, n)
+	}
 	switch i {
 	case 0:
-		e.X = n.(Expr)
+		e.X = x
 	case 1:
-		e.Y = n.(Expr)
+		e.Y = x
 	default:
-		panic(childOutOfRange(e, i))
+		return errRange(e, i)
 	}
+	return nil
 }
 
 // Clone returns a deep copy of the binary expression.
@@ -628,11 +777,19 @@ func (e *Un) Child(i int) Node {
 }
 
 // SetChild replaces the operand.
-func (e *Un) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(e, i))
+func (e *Un) SetChild(i int, n Node) error {
+	if e.frozen() {
+		return errFrozen(e, i)
 	}
-	e.X = n.(Expr)
+	x, ok := n.(Expr)
+	if !ok {
+		return errKind(e, i, n)
+	}
+	if i != 0 {
+		return errRange(e, i)
+	}
+	e.X = x
+	return nil
 }
 
 // Clone returns a deep copy of the unary expression.
@@ -650,11 +807,19 @@ func (e *Mem) Child(i int) Node {
 }
 
 // SetChild replaces the address expression.
-func (e *Mem) SetChild(i int, n Node) {
-	if i != 0 {
-		panic(childOutOfRange(e, i))
+func (e *Mem) SetChild(i int, n Node) error {
+	if e.frozen() {
+		return errFrozen(e, i)
 	}
-	e.Addr = n.(Expr)
+	x, ok := n.(Expr)
+	if !ok {
+		return errKind(e, i, n)
+	}
+	if i != 0 {
+		return errRange(e, i)
+	}
+	e.Addr = x
+	return nil
 }
 
 // Clone returns a deep copy of the memory reference.
@@ -666,11 +831,11 @@ func (e *Call) NumChildren() int { return 0 }
 // Child panics: calls are leaves.
 func (e *Call) Child(i int) Node { panic(childOutOfRange(e, i)) }
 
-// SetChild panics: calls are leaves.
-func (e *Call) SetChild(i int, n Node) { panic(childOutOfRange(e, i)) }
+// SetChild fails: calls are leaves.
+func (e *Call) SetChild(i int, n Node) error { return errRange(e, i) }
 
 // Clone returns a copy of the call.
-func (e *Call) Clone() Node { c := *e; return &c }
+func (e *Call) Clone() Node { return &Call{Name: e.Name} }
 
 // Routine returns the description's single executable routine, or nil if it
 // has none.

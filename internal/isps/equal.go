@@ -1,10 +1,31 @@
 package isps
 
-// Equal reports deep structural equality of two nodes, including all names
-// and literal values.
+// Equal reports deep structural equality of two nodes, over exactly the
+// fields Hash covers (names, widths, comments, operators, literals and
+// their character flag). Keeping Equal and Hash field-for-field aligned is
+// a load-bearing invariant: the interner, the visited set and the analysis
+// cache all key on the digest, so Equal(a, b) must hold exactly when
+// Hash(a) == Hash(b) (up to 128-bit collisions). FuzzHashCons checks the
+// alignment.
+//
+// Interned trees compare in O(1): identical pointers are equal by
+// construction, and two frozen nodes with different digests are unequal
+// without a walk.
 func Equal(a, b Node) bool {
+	if a == b {
+		return true
+	}
 	if a == nil || b == nil {
-		return a == b
+		return false
+	}
+	if ma, mb := metaOf(a), metaOf(b); ma != nil && mb != nil && ma.frozen() && mb.frozen() {
+		// Different digests prove inequality. Equal digests do NOT prove
+		// equality here: after an interner shard reset two canonical nodes
+		// for the same tree can coexist, so fall through to the structural
+		// walk (which then short-circuits on shared interned subtrees).
+		if ma.digest() != mb.digest() {
+			return false
+		}
 	}
 	switch x := a.(type) {
 	case *Ident:
@@ -12,7 +33,7 @@ func Equal(a, b Node) bool {
 		return ok && x.Name == y.Name
 	case *Num:
 		y, ok := b.(*Num)
-		return ok && x.Val == y.Val
+		return ok && x.Val == y.Val && x.IsChar == y.IsChar
 	case *Call:
 		y, ok := b.(*Call)
 		return ok && x.Name == y.Name
@@ -75,10 +96,11 @@ func Equal(a, b Node) bool {
 		return true
 	case *RegDecl:
 		y, ok := b.(*RegDecl)
-		return ok && x.Name == y.Name && x.Width == y.Width
+		return ok && x.Name == y.Name && x.Width == y.Width && x.Comment == y.Comment
 	case *FuncDecl:
 		y, ok := b.(*FuncDecl)
-		return ok && x.Name == y.Name && x.Width == y.Width && Equal(x.Body, y.Body)
+		return ok && x.Name == y.Name && x.Width == y.Width && x.Comment == y.Comment &&
+			Equal(x.Body, y.Body)
 	case *RoutineDecl:
 		y, ok := b.(*RoutineDecl)
 		return ok && x.Name == y.Name && Equal(x.Body, y.Body)

@@ -91,13 +91,23 @@ const (
 	tagCall
 )
 
-// Hash computes the 128-bit structural digest of n in one tree walk. The
-// encoding mirrors the AST directly — type tags, scalar fields, child
-// counts — rather than the printed source, so hashing is allocation-free
-// and much cheaper than Format. Structural equality implies digest
-// equality; the converse holds up to 128-bit collisions (the auto-search
-// offers a collision-check mode in its tests).
-func Hash(n Node) Digest {
+// Hash computes the 128-bit structural digest of n. The encoding mirrors
+// the AST directly — type tags, scalar fields, child digests — rather than
+// the printed source, so hashing is allocation-free and much cheaper than
+// Format. Structural equality implies digest equality; the converse holds
+// up to 128-bit collisions (the -check-hashes debug mode verifies this in
+// the field).
+//
+// Digests compose Merkle-style: a node's digest folds its own scalars with
+// the digests of its children, and interned nodes carry their digest
+// memoized. Rehashing a tree built by ReplaceAt therefore costs only the
+// rebuilt spine — every frozen subtree answers from its memo.
+func Hash(n Node) Digest { return hashNode(n) }
+
+func hashNode(n Node) Digest {
+	if m := metaOf(n); m != nil && m.frozen() {
+		return m.digest()
+	}
 	h := newHasher()
 	h.node(n)
 	return h.digest()
@@ -107,10 +117,18 @@ func Hash(n Node) Digest {
 // keyed on (operator, instruction) description pairs.
 func HashPair(a, b Node) Digest {
 	h := newHasher()
-	h.node(a)
+	h.child(a)
 	h.byte(0xFF) // separator tag outside the node tag range
-	h.node(b)
+	h.child(b)
 	return h.digest()
+}
+
+// child folds the digest of a child subtree into the running state, hitting
+// the memo when the child is interned.
+func (h *hasher) child(n Node) {
+	d := hashNode(n)
+	h.uint64(d.Hi)
+	h.uint64(d.Lo)
 }
 
 func (h *hasher) node(n Node) {
@@ -120,14 +138,14 @@ func (h *hasher) node(n Node) {
 		h.string(x.Name)
 		h.int(len(x.Sections))
 		for _, s := range x.Sections {
-			h.node(s)
+			h.child(s)
 		}
 	case *Section:
 		h.byte(tagSection)
 		h.string(x.Name)
 		h.int(len(x.Decls))
 		for _, d := range x.Decls {
-			h.node(d)
+			h.child(d)
 		}
 	case *RegDecl:
 		h.byte(tagRegDecl)
@@ -139,32 +157,32 @@ func (h *hasher) node(n Node) {
 		h.string(x.Name)
 		h.int(x.Width)
 		h.string(x.Comment)
-		h.node(x.Body)
+		h.child(x.Body)
 	case *RoutineDecl:
 		h.byte(tagRoutineDecl)
 		h.string(x.Name)
-		h.node(x.Body)
+		h.child(x.Body)
 	case *Block:
 		h.byte(tagBlock)
 		h.int(len(x.Stmts))
 		for _, s := range x.Stmts {
-			h.node(s)
+			h.child(s)
 		}
 	case *AssignStmt:
 		h.byte(tagAssign)
-		h.node(x.LHS)
-		h.node(x.RHS)
+		h.child(x.LHS)
+		h.child(x.RHS)
 	case *IfStmt:
 		h.byte(tagIf)
-		h.node(x.Cond)
-		h.node(x.Then)
-		h.node(x.Else)
+		h.child(x.Cond)
+		h.child(x.Then)
+		h.child(x.Else)
 	case *RepeatStmt:
 		h.byte(tagRepeat)
-		h.node(x.Body)
+		h.child(x.Body)
 	case *ExitWhenStmt:
 		h.byte(tagExitWhen)
-		h.node(x.Cond)
+		h.child(x.Cond)
 	case *InputStmt:
 		h.byte(tagInput)
 		h.int(len(x.Names))
@@ -175,11 +193,11 @@ func (h *hasher) node(n Node) {
 		h.byte(tagOutput)
 		h.int(len(x.Exprs))
 		for _, e := range x.Exprs {
-			h.node(e)
+			h.child(e)
 		}
 	case *AssertStmt:
 		h.byte(tagAssert)
-		h.node(x.Cond)
+		h.child(x.Cond)
 	case *Ident:
 		h.byte(tagIdent)
 		h.string(x.Name)
@@ -190,15 +208,15 @@ func (h *hasher) node(n Node) {
 	case *Bin:
 		h.byte(tagBin)
 		h.byte(byte(x.Op))
-		h.node(x.X)
-		h.node(x.Y)
+		h.child(x.X)
+		h.child(x.Y)
 	case *Un:
 		h.byte(tagUn)
 		h.byte(byte(x.Op))
-		h.node(x.X)
+		h.child(x.X)
 	case *Mem:
 		h.byte(tagMem)
-		h.node(x.Addr)
+		h.child(x.Addr)
 	case *Call:
 		h.byte(tagCall)
 		h.string(x.Name)
@@ -209,7 +227,7 @@ func (h *hasher) node(n Node) {
 		h.byte(0xFE)
 		h.int(n.NumChildren())
 		for i := 0; i < n.NumChildren(); i++ {
-			h.node(n.Child(i))
+			h.child(n.Child(i))
 		}
 	}
 }

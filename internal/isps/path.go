@@ -88,29 +88,23 @@ func Resolve(root Node, p Path) (Node, error) {
 }
 
 // Replace substitutes the node at path p with repl, mutating root in place.
-// Replacing the root itself (empty path) is not supported.
-func Replace(root Node, p Path, repl Node) (err error) {
+// Replacing the root itself (empty path) is not supported. Kind mismatches
+// and frozen (interned) parents surface as the typed *NodeError values
+// SetChild returns; callers must not use Replace on interned trees — use
+// ReplaceAt, which rebuilds the spine persistently instead.
+func Replace(root Node, p Path, repl Node) error {
 	if len(p) == 0 {
 		return fmt.Errorf("isps: cannot replace the root node")
 	}
-	parent, rerr := Resolve(root, p[:len(p)-1])
-	if rerr != nil {
-		return rerr
+	parent, err := Resolve(root, p[:len(p)-1])
+	if err != nil {
+		return err
 	}
 	i := p[len(p)-1]
 	if i < 0 || i >= parent.NumChildren() {
 		return fmt.Errorf("isps: path %s: index %d out of range in %T", p, i, parent)
 	}
-	// SetChild panics when repl's kind is unacceptable at that position
-	// (e.g. a statement where an expression is required); report it as an
-	// error instead of crashing the analysis session.
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("isps: cannot place %T at %s: %v", repl, p, r)
-		}
-	}()
-	parent.SetChild(i, repl)
-	return nil
+	return parent.SetChild(i, repl)
 }
 
 // InsertStmt inserts stmt into the block addressed by blockPath at index i,
@@ -153,17 +147,26 @@ func RemoveStmt(root Node, blockPath Path, i int) error {
 
 // Walk calls fn for every node in pre-order, passing the node and its path
 // from root. If fn returns false the node's children are skipped.
+//
+// The path slice is reused across calls to fn: callers that retain a path
+// beyond the callback must copy it (append(Path(nil), p...)). Reuse keeps
+// a full-tree walk at one allocation instead of one per node, which is the
+// difference between O(n) and O(n·depth) allocations on the search's
+// candidate-enumeration hot path.
 func Walk(root Node, fn func(n Node, p Path) bool) {
-	var rec func(n Node, p Path)
-	rec = func(n Node, p Path) {
-		if !fn(n, p) {
+	scratch := make(Path, 0, 32)
+	var rec func(n Node)
+	rec = func(n Node) {
+		if !fn(n, scratch) {
 			return
 		}
 		for i := 0; i < n.NumChildren(); i++ {
-			rec(n.Child(i), p.Child(i))
+			scratch = append(scratch, i)
+			rec(n.Child(i))
+			scratch = scratch[:len(scratch)-1]
 		}
 	}
-	rec(root, Path{})
+	rec(root)
 }
 
 // Find returns the path of the first node (in pre-order) for which pred is

@@ -1,0 +1,127 @@
+package isps
+
+import "fmt"
+
+// Persistent updates: rebuild only the spine from the root to an edit
+// point, sharing every off-spine subtree with the original. On an interned
+// description a spine rebuild plus re-interning costs O(depth) node copies
+// and O(depth) shallow hash folds, replacing the full-tree CloneDesc the
+// transformation library used to pay per rewrite.
+
+// shallowCopy returns a mutable copy of n sharing n's children. Slice
+// headers are copied (fresh backing arrays) so that SetChild on the copy
+// never writes into a shared array.
+func shallowCopy(n Node) Node {
+	switch x := n.(type) {
+	case *Description:
+		return &Description{Name: x.Name, Sections: append([]*Section(nil), x.Sections...)}
+	case *Section:
+		return &Section{Name: x.Name, Decls: append([]Decl(nil), x.Decls...)}
+	case *RegDecl:
+		return &RegDecl{Name: x.Name, Width: x.Width, Comment: x.Comment}
+	case *FuncDecl:
+		return &FuncDecl{Name: x.Name, Width: x.Width, Comment: x.Comment, Body: x.Body}
+	case *RoutineDecl:
+		return &RoutineDecl{Name: x.Name, Body: x.Body}
+	case *Block:
+		return &Block{Stmts: append([]Stmt(nil), x.Stmts...)}
+	case *AssignStmt:
+		return &AssignStmt{LHS: x.LHS, RHS: x.RHS}
+	case *IfStmt:
+		return &IfStmt{Cond: x.Cond, Then: x.Then, Else: x.Else}
+	case *RepeatStmt:
+		return &RepeatStmt{Body: x.Body}
+	case *ExitWhenStmt:
+		return &ExitWhenStmt{Cond: x.Cond}
+	case *InputStmt:
+		return &InputStmt{Names: append([]string(nil), x.Names...)}
+	case *OutputStmt:
+		return &OutputStmt{Exprs: append([]Expr(nil), x.Exprs...)}
+	case *AssertStmt:
+		return &AssertStmt{Cond: x.Cond}
+	case *Ident:
+		return &Ident{Name: x.Name}
+	case *Num:
+		return &Num{Val: x.Val, IsChar: x.IsChar}
+	case *Bin:
+		return &Bin{Op: x.Op, X: x.X, Y: x.Y}
+	case *Un:
+		return &Un{Op: x.Op, X: x.X}
+	case *Mem:
+		return &Mem{Addr: x.Addr}
+	case *Call:
+		return &Call{Name: x.Name}
+	default:
+		return x.Clone()
+	}
+}
+
+// ReplaceAt returns a tree equal to root except that the node at path p is
+// repl. The original tree is never mutated: the spine from the root down to
+// p is shallow-copied and everything off the spine is shared. An empty path
+// returns repl itself. Kind mismatches (a statement where an expression
+// goes) surface as *NodeError values from SetChild, exactly like Replace.
+func ReplaceAt(root Node, p Path, repl Node) (Node, error) {
+	if len(p) == 0 {
+		return repl, nil
+	}
+	spine := make([]Node, len(p))
+	n := root
+	for d, i := range p {
+		if i < 0 || i >= n.NumChildren() {
+			return nil, fmt.Errorf("isps: replace at %v: index %d out of range at depth %d (%T has %d children)",
+				p, i, d, n, n.NumChildren())
+		}
+		spine[d] = n
+		n = n.Child(i)
+	}
+	cur := repl
+	for d := len(p) - 1; d >= 0; d-- {
+		parent := shallowCopy(spine[d])
+		if err := parent.SetChild(p[d], cur); err != nil {
+			return nil, err
+		}
+		cur = parent
+	}
+	return cur, nil
+}
+
+// ReplaceAtDesc is ReplaceAt with the concrete description type preserved.
+func (d *Description) ReplaceAtDesc(p Path, repl Node) (*Description, error) {
+	if len(p) == 0 {
+		nd, ok := repl.(*Description)
+		if !ok {
+			return nil, fmt.Errorf("isps: replace at root: %T is not a description", repl)
+		}
+		return nd, nil
+	}
+	out, err := ReplaceAt(d, p, repl)
+	if err != nil {
+		return nil, err
+	}
+	return out.(*Description), nil
+}
+
+// SpliceAtDesc returns a description equal to d except that the block at
+// blockPath has the del statements starting at idx replaced by repl. Like
+// ReplaceAt it shares everything outside the rebuilt spine; the replacement
+// block gets a fresh statement slice, so d's block is untouched.
+func (d *Description) SpliceAtDesc(blockPath Path, idx, del int, repl ...Stmt) (*Description, error) {
+	n, err := Resolve(d, blockPath)
+	if err != nil {
+		return nil, err
+	}
+	blk, ok := n.(*Block)
+	if !ok {
+		return nil, fmt.Errorf("isps: splice at %v: %T is not a block", blockPath, n)
+	}
+	if idx < 0 || del < 0 || idx+del > len(blk.Stmts) {
+		return nil, fmt.Errorf("isps: splice at %v: range [%d,%d) out of bounds (block has %d statements)",
+			blockPath, idx, idx+del, len(blk.Stmts))
+	}
+	out := make([]Stmt, 0, len(blk.Stmts)-del+len(repl))
+	out = append(out, blk.Stmts[:idx]...)
+	out = append(out, repl...)
+	out = append(out, blk.Stmts[idx+del:]...)
+	return d.ReplaceAtDesc(blockPath, &Block{Stmts: out})
+}

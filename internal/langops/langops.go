@@ -38,11 +38,15 @@ func All() []Entry {
 	}
 }
 
-// Get returns a fresh parse of the named operator's description.
+// Get returns the named operator's description, parsed and interned: the
+// result is an immutable hash-consed tree (repeat calls return the same
+// canonical pointer while the interner retains it), so digests of catalog
+// descriptions are memoized. Callers that need a mutable tree must
+// CloneDesc it.
 func Get(name string) *isps.Description {
 	for _, e := range All() {
 		if e.Name == name {
-			return isps.MustParse(e.Source)
+			return isps.InternDesc(isps.MustParse(e.Source))
 		}
 	}
 	return nil

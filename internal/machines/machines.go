@@ -41,11 +41,15 @@ func All() []Entry {
 	}
 }
 
-// Get returns a fresh parse of the named instruction's description.
+// Get returns the named instruction's description, parsed and interned: the
+// result is an immutable hash-consed tree (repeat calls return the same
+// canonical pointer while the interner retains it), so digests of catalog
+// descriptions are memoized. Callers that need a mutable tree must
+// CloneDesc it.
 func Get(instruction string) *isps.Description {
 	for _, e := range All() {
 		if e.Instruction == instruction {
-			return isps.MustParse(e.Source)
+			return isps.InternDesc(isps.MustParse(e.Source))
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strconv"
@@ -14,9 +15,11 @@ import (
 // exactly because every registry uses the same power-of-two buckets, so the
 // merged bucket counts are the counts a single registry observing every
 // sample would have held, and the merged quantile estimates carry the same
-// in-bucket guarantee as a single registry's. Rolling windows do not merge
-// (the shards' window epochs are not aligned), so merged histograms omit
-// them.
+// in-bucket guarantee as a single registry's. Rolling windows merge the
+// same way, from the per-shard windows' own bucket counts (WindowSnap
+// carries them precisely for this): shard window epochs are not perfectly
+// aligned, so the merged window is approximate at the edges, but it is
+// honest recent data — never a summary recomputed from all-time buckets.
 
 // WriteJSON writes the snapshot as indented JSON with the same
 // deterministic ordering as Registry.WriteJSON.
@@ -64,6 +67,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	counters := map[key]uint64{}
 	gauges := map[key]int64{}
 	hists := map[key]*mergedHist{}
+	wins := map[key]*mergedHist{}
 	for _, s := range snaps {
 		for _, c := range s.Counters {
 			counters[key{c.Metric, c.Label}] += c.Value
@@ -95,6 +99,23 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 					m.counts[i] += b.Count
 				}
 			}
+			// Windows fold separately, from the per-shard rolling-window
+			// buckets — folding the cumulative buckets here would dress
+			// all-time data up as "recent".
+			if win := h.Window; win != nil && win.Count > 0 {
+				w := wins[k]
+				if w == nil {
+					w = &mergedHist{}
+					wins[k] = w
+				}
+				w.count += win.Count
+				w.sum += win.Sum
+				for _, b := range win.Buckets {
+					if i, ok := bucketIndex(b.Le); ok {
+						w.counts[i] += b.Count
+					}
+				}
+			}
 		}
 	}
 	out := Snapshot{
@@ -123,6 +144,21 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 				Le    string `json:"le"`
 				Count uint64 `json:"count"`
 			}{Le: bucketName(i), Count: c})
+		}
+		if w := wins[k]; w != nil {
+			win := &WindowSnap{Seconds: WindowSeconds, Count: w.count, Sum: w.sum,
+				Mean: float64(w.sum) / float64(w.count)}
+			win.Quantiles = quantiles(&w.counts, w.count, 0, math.MaxUint64)
+			for i, c := range w.counts {
+				if c == 0 {
+					continue
+				}
+				win.Buckets = append(win.Buckets, struct {
+					Le    string `json:"le"`
+					Count uint64 `json:"count"`
+				}{Le: bucketName(i), Count: c})
+			}
+			h.Window = win
 		}
 		out.Histograms = append(out.Histograms, h)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMergeSnapshotsSums: counters and gauges with the same (metric, label)
@@ -84,8 +85,17 @@ func TestMergeSnapshotsHistograms(t *testing.T) {
 			t.Errorf("bucket %d: %+v, want %+v", i, got.Buckets[i], want.Buckets[i])
 		}
 	}
-	if got.Window != nil {
-		t.Error("merged histogram carries a rolling window; shard windows are not epoch-aligned and must not merge")
+	// All observations are fresh, so the shard windows hold everything and
+	// the merged window must match the single-registry reference window.
+	if got.Window == nil || want.Window == nil {
+		t.Fatalf("window missing: merged %v, reference %v", got.Window, want.Window)
+	}
+	if got.Window.Count != want.Window.Count || got.Window.Sum != want.Window.Sum {
+		t.Errorf("merged window {count %d sum %d}, want {%d %d}",
+			got.Window.Count, got.Window.Sum, want.Window.Count, want.Window.Sum)
+	}
+	if got.Window.Quantiles != want.Window.Quantiles {
+		t.Errorf("merged window quantiles %+v, want %+v", got.Window.Quantiles, want.Window.Quantiles)
 	}
 }
 
@@ -121,5 +131,69 @@ func TestBucketIndexRoundTrip(t *testing.T) {
 		if _, ok := bucketIndex(bad); ok {
 			t.Errorf("bucketIndex(%q) accepted a non-bucket label", bad)
 		}
+	}
+}
+
+// TestMergeWindowFromShardWindows drives two shard registries with a shared
+// fake clock: old observations that have aged out of every shard's rolling
+// window must not leak into the merged _window summary. The merged window
+// derives from the per-shard window buckets — merging the all-time
+// power-of-two buckets instead would drag the stale 1000-valued samples
+// back in and this test would see them in the count and the quantiles.
+func TestMergeWindowFromShardWindows(t *testing.T) {
+	now := time.Unix(2_000_000, 0)
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.now = func() time.Time { return now }
+	r2.now = func() time.Time { return now }
+
+	// Stale traffic on both shards, then advance past the window.
+	for i := 0; i < 100; i++ {
+		r1.Observe("lat.ns", "x", 1000)
+		r2.Observe("lat.ns", "x", 1000)
+	}
+	now = now.Add(time.Duration(WindowSeconds+11) * time.Second)
+
+	// Recent traffic: 5 samples on each shard, distinct values.
+	for i := 0; i < 5; i++ {
+		r1.Observe("lat.ns", "x", 16)
+		r2.Observe("lat.ns", "x", 64)
+	}
+
+	m := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	if len(m.Histograms) != 1 {
+		t.Fatalf("merged %d histogram series, want 1", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Count != 210 {
+		t.Errorf("all-time count = %d, want 210", h.Count)
+	}
+	win := h.Window
+	if win == nil {
+		t.Fatal("merged histogram lost its rolling window")
+	}
+	if win.Count != 10 {
+		t.Errorf("window count = %d, want 10 (stale shard samples leaked in)", win.Count)
+	}
+	if win.Sum != 5*16+5*64 {
+		t.Errorf("window sum = %d, want %d", win.Sum, 5*16+5*64)
+	}
+	// The stale samples were all 1000; with them gone every window quantile
+	// estimate must sit in the recent samples' bucket range (< 128).
+	for _, q := range []uint64{win.P50, win.P90, win.P99, win.P999} {
+		if q >= 128 {
+			t.Errorf("window quantile %d includes aged-out data", q)
+		}
+	}
+	if len(win.Buckets) == 0 {
+		t.Error("merged window carries no buckets")
+	}
+
+	// The merged window renders as a _window summary over recent data only.
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lat_ns_window_count{label=\"x\"} 10") {
+		t.Errorf("prom output lacks the merged window count:\n%s", buf.String())
 	}
 }

@@ -297,13 +297,20 @@ type Quantiles struct {
 }
 
 // WindowSnap is the rolling-window view of a histogram: the same stats and
-// quantile estimates restricted to roughly the last WindowSeconds.
+// quantile estimates restricted to roughly the last WindowSeconds. Buckets
+// carries the window's own power-of-two counts (not the cumulative ones),
+// which is what lets MergeSnapshots fold per-shard windows into a
+// fleet-wide window instead of dropping or faking them from all-time data.
 type WindowSnap struct {
 	Seconds int     `json:"seconds"`
 	Count   uint64  `json:"count"`
 	Sum     uint64  `json:"sum"`
 	Mean    float64 `json:"mean"`
 	Quantiles
+	Buckets []struct {
+		Le    string `json:"le"`
+		Count uint64 `json:"count"`
+	} `json:"buckets,omitempty"`
 }
 
 // HistSnap is one histogram series in a snapshot. Buckets maps the
@@ -409,6 +416,15 @@ func (h *histogram) window(now int64) (*WindowSnap, bool) {
 	win := &WindowSnap{Seconds: WindowSeconds, Count: count, Sum: sum,
 		Mean: float64(sum) / float64(count)}
 	win.Quantiles = quantiles(&counts, count, 0, math.MaxUint64)
+	for b, n := range counts {
+		if n == 0 {
+			continue
+		}
+		win.Buckets = append(win.Buckets, struct {
+			Le    string `json:"le"`
+			Count uint64 `json:"count"`
+		}{Le: bucketName(b), Count: n})
+	}
 	return win, true
 }
 

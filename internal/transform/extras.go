@@ -14,8 +14,7 @@ func init() {
 			"`exit_when A; exit_when B` when both disjuncts are side-effect " +
 			"free (evaluation of B after A's test is then unobservable).",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -30,13 +29,13 @@ func init() {
 			if !pureExpr(b.X) || !pureExpr(b.Y) {
 				return nil, errPrecond("exit.split", "disjuncts have side effects")
 			}
-			if err := spliceStmts(c, parentPath, idx, []isps.Stmt{
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1,
 				&isps.ExitWhenStmt{Cond: b.X},
-				&isps.ExitWhenStmt{Cond: b.Y},
-			}); err != nil {
+				&isps.ExitWhenStmt{Cond: b.Y})
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: "split disjunctive exit"}, nil
+			return &Outcome{Desc: nd, Note: "split disjunctive exit"}, nil
 		},
 	})
 
@@ -47,8 +46,7 @@ func init() {
 		Doc: "Merge two adjacent exits: `exit_when A; exit_when B` becomes " +
 			"`exit_when (A or B)` when both conditions are side-effect free.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -64,13 +62,11 @@ func init() {
 				return nil, errPrecond("exit.merge", "exit conditions have side effects")
 			}
 			merged := &isps.ExitWhenStmt{Cond: &isps.Bin{Op: isps.OpOr, X: a.Cond, Y: b.Cond}}
-			if err := spliceStmts(c, parentPath, idx, []isps.Stmt{merged}); err != nil {
+			nd, err := d.SpliceAtDesc(parentPath, idx, 2, merged)
+			if err != nil {
 				return nil, err
 			}
-			if err := isps.RemoveStmt(c, parentPath, idx+1); err != nil {
-				return nil, err
-			}
-			return &Outcome{Desc: c, Note: "merged adjacent exits"}, nil
+			return &Outcome{Desc: nd, Note: "merged adjacent exits"}, nil
 		},
 	})
 
@@ -135,8 +131,7 @@ func init() {
 			"`if e then S; A else S; B` becomes `S; if e then A else B` when " +
 			"S is independent of the condition and not an exit.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +149,7 @@ func init() {
 			if _, isExit := s.(*isps.ExitWhenStmt); isExit {
 				return nil, errPrecond("if.pull.common", "cannot pull an exit_when")
 			}
-			funcs := dataflow.FuncMap(c)
+			funcs := dataflow.FuncMap(d)
 			sEff := dataflow.NodeEffects(s, funcs)
 			cEff := dataflow.NodeEffects(ifs.Cond, funcs)
 			for k := range sEff.MayDef {
@@ -167,15 +162,14 @@ func init() {
 					return nil, errPrecond("if.pull.common", "condition writes %s, which the statement touches", k)
 				}
 			}
-			ifs.Then.Stmts = ifs.Then.Stmts[1:]
-			ifs.Else.Stmts = ifs.Else.Stmts[1:]
-			n, err := isps.Resolve(c, parentPath)
+			stripped := &isps.IfStmt{Cond: ifs.Cond,
+				Then: &isps.Block{Stmts: append([]isps.Stmt(nil), ifs.Then.Stmts[1:]...)},
+				Else: &isps.Block{Stmts: append([]isps.Stmt(nil), ifs.Else.Stmts[1:]...)}}
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1, s, stripped)
 			if err != nil {
 				return nil, err
 			}
-			host := n.(*isps.Block)
-			host.Stmts = insertAt(host.Stmts, idx, s)
-			return &Outcome{Desc: c, Note: "pulled common leading statement out of the branches"}, nil
+			return &Outcome{Desc: nd, Note: "pulled common leading statement out of the branches"}, nil
 		},
 	})
 }

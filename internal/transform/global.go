@@ -300,10 +300,13 @@ func init() {
 			if !okAll {
 				return nil, errPrecond("global.flag.invert", "%s is assigned a non-constant value", f)
 			}
-			// Invert assignments, wrap reads.
+			// Invert assignments, wrap reads. The walk runs over this
+			// transform's own clone, so SetChild cannot fail; surface an
+			// error anyway rather than silently dropping an edit.
+			var recErr error
 			var rec func(n isps.Node)
 			rec = func(n isps.Node) {
-				for i := 0; i < n.NumChildren(); i++ {
+				for i := 0; i < n.NumChildren() && recErr == nil; i++ {
 					ch := n.Child(i)
 					if id, isID := ch.(*isps.Ident); isID && id.Name == f {
 						if a, isAsn := n.(*isps.AssignStmt); isAsn && i == 0 {
@@ -313,13 +316,16 @@ func init() {
 							a.RHS = &isps.Num{Val: 1 - v}
 							continue
 						}
-						n.SetChild(i, &isps.Un{Op: isps.OpNot, X: &isps.Ident{Name: g}})
+						recErr = n.SetChild(i, &isps.Un{Op: isps.OpNot, X: &isps.Ident{Name: g}})
 						continue
 					}
 					rec(ch)
 				}
 			}
 			rec(c)
+			if recErr != nil {
+				return nil, recErr
+			}
 			edits := 0
 			isps.Walk(c, func(n isps.Node, _ isps.Path) bool {
 				if id, ok := n.(*isps.Ident); ok && id.Name == g {

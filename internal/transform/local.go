@@ -8,8 +8,15 @@ import (
 
 // exprRewrite builds a Preserving transformation that rewrites the single
 // expression addressed by the path. fn receives the expression and the
-// (cloned) description and returns the replacement, or an error when the
-// pattern does not apply.
+// description — which it must treat as read-only (build a fresh replacement
+// or return a subexpression; never mutate) — and returns the replacement,
+// or an error when the pattern does not apply.
+//
+// The rewrite is persistent: the outcome shares every subtree of d outside
+// the spine from the root to the rewritten expression. A failed probe costs
+// nothing but the resolve, and a successful one O(depth) spine nodes — this
+// is the auto-search's hottest Apply path, formerly a full CloneDesc either
+// way.
 func exprRewrite(name, doc string, fn func(e isps.Expr, d *isps.Description) (isps.Expr, error)) *Transformation {
 	return register(&Transformation{
 		Name:     name,
@@ -17,19 +24,19 @@ func exprRewrite(name, doc string, fn func(e isps.Expr, d *isps.Description) (is
 		Effect:   Preserving,
 		Doc:      doc,
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			e, err := resolveExpr(c, at)
+			e, err := resolveExpr(d, at)
 			if err != nil {
 				return nil, err
 			}
-			repl, err := fn(e, c)
+			repl, err := fn(e, d)
 			if err != nil {
 				return nil, err
 			}
-			if err := isps.Replace(c, at, repl); err != nil {
+			nd, err := d.ReplaceAtDesc(at, repl)
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: fmt.Sprintf("%s => %s", isps.ExprString(e), isps.ExprString(repl))}, nil
+			return &Outcome{Desc: nd, Note: fmt.Sprintf("%s => %s", isps.ExprString(e), isps.ExprString(repl))}, nil
 		},
 	})
 }
@@ -568,8 +575,7 @@ func init() {
 		Doc: "Reverse a conditional (figure 1 of the paper): " +
 			"if e then A else B => if not e then B else A.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			n, err := isps.Resolve(c, at)
+			n, err := isps.Resolve(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -577,9 +583,13 @@ func init() {
 			if !ok {
 				return nil, errPrecond("if.reverse", "path %s is not a conditional", at)
 			}
-			s.Cond = &isps.Un{Op: isps.OpNot, X: s.Cond}
-			s.Then, s.Else = s.Else, s.Then
-			return &Outcome{Desc: c, Note: "reversed conditional"}, nil
+			rev := &isps.IfStmt{Cond: &isps.Un{Op: isps.OpNot, X: s.Cond},
+				Then: s.Else, Else: s.Then}
+			nd, err := d.ReplaceAtDesc(at, rev)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Desc: nd, Note: "reversed conditional"}, nil
 		},
 	})
 
@@ -609,8 +619,7 @@ func init() {
 		Effect:   Preserving,
 		Doc:      "Replace `if e then A else A` by A when e is side-effect free and both branches are identical.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -624,10 +633,11 @@ func init() {
 			if !isps.Equal(s.Then, s.Else) {
 				return nil, errPrecond("if.same", "branches differ")
 			}
-			if err := spliceStmts(c, parentPath, idx, s.Then.Stmts); err != nil {
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1, s.Then.Stmts...)
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: "collapsed conditional with identical branches"}, nil
+			return &Outcome{Desc: nd, Note: "collapsed conditional with identical branches"}, nil
 		},
 	})
 
@@ -637,8 +647,7 @@ func init() {
 		Effect:   Preserving,
 		Doc:      "Delete `if e then else end_if` when both branches are empty and e is side-effect free.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -652,10 +661,11 @@ func init() {
 			if !pureExpr(s.Cond) {
 				return nil, errPrecond("if.empty", "condition %s has side effects", isps.ExprString(s.Cond))
 			}
-			if err := isps.RemoveStmt(c, parentPath, idx); err != nil {
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1)
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: "deleted empty conditional"}, nil
+			return &Outcome{Desc: nd, Note: "deleted empty conditional"}, nil
 		},
 	})
 
@@ -665,8 +675,7 @@ func init() {
 		Effect:   Preserving,
 		Doc:      "Delete `exit_when (0)`.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -677,10 +686,11 @@ func init() {
 			if v, isNum := numVal(s.Cond); !isNum || v != 0 {
 				return nil, errPrecond("exit.false", "condition %s is not the constant 0", isps.ExprString(s.Cond))
 			}
-			if err := isps.RemoveStmt(c, parentPath, idx); err != nil {
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1)
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: "deleted never-taken exit"}, nil
+			return &Outcome{Desc: nd, Note: "deleted never-taken exit"}, nil
 		},
 	})
 }
@@ -691,8 +701,7 @@ func foldIfConst(d *isps.Description, at isps.Path, wantTrue bool) (*Outcome, er
 	if wantTrue {
 		name = "if.true"
 	}
-	c := d.CloneDesc()
-	blk, parentPath, idx, err := resolveStmtIndex(c, at)
+	blk, parentPath, idx, err := resolveStmtIndex(d, at)
 	if err != nil {
 		return nil, err
 	}
@@ -708,10 +717,11 @@ func foldIfConst(d *isps.Description, at isps.Path, wantTrue bool) (*Outcome, er
 	if !wantTrue {
 		keep = s.Else
 	}
-	if err := spliceStmts(c, parentPath, idx, keep.Stmts); err != nil {
+	nd, err := d.SpliceAtDesc(parentPath, idx, 1, keep.Stmts...)
+	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Desc: c, Note: "folded constant conditional"}, nil
+	return &Outcome{Desc: nd, Note: "folded constant conditional"}, nil
 }
 
 // spliceStmts replaces the statement at blk[idx] with the given sequence.

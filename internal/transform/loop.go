@@ -351,8 +351,7 @@ func init() {
 			"where the statement immediately before the loop is `v <- c`. " +
 			"Either way the body never runs.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, parentPath, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -370,10 +369,11 @@ func init() {
 			if !exitsOnEntry(ex.Cond, blk, idx) {
 				return nil, errPrecond("loop.delete.dead", "cannot show the first exit fires on loop entry (condition %s)", isps.ExprString(ex.Cond))
 			}
-			if err := isps.RemoveStmt(c, parentPath, idx); err != nil {
+			nd, err := d.SpliceAtDesc(parentPath, idx, 1)
+			if err != nil {
 				return nil, err
 			}
-			return &Outcome{Desc: c, Note: "deleted loop that exits immediately"}, nil
+			return &Outcome{Desc: nd, Note: "deleted loop that exits immediately"}, nil
 		},
 	})
 

@@ -486,8 +486,7 @@ func applyInductionMerge(d *isps.Description, at isps.Path, args Args) (*Outcome
 
 func applyRotateGuarded(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
 	const name = "loop.rotate.guarded"
-	c := d.CloneDesc()
-	blk, parentPath, idx, err := resolveStmtIndex(c, at)
+	blk, parentPath, idx, err := resolveStmtIndex(d, at)
 	if err != nil {
 		return nil, err
 	}
@@ -535,10 +534,11 @@ func applyRotateGuarded(d *isps.Description, at isps.Path, args Args) (*Outcome,
 	newBody := append([]isps.Stmt{&isps.ExitWhenStmt{Cond: last.Cond}},
 		loop.Body.Stmts[:len(loop.Body.Stmts)-1]...)
 	rotated := &isps.RepeatStmt{Body: &isps.Block{Stmts: newBody}}
-	if err := spliceStmts(c, parentPath, idx, []isps.Stmt{rotated}); err != nil {
+	nd, err := d.SpliceAtDesc(parentPath, idx, 1, rotated)
+	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Desc: c, Note: "rotated guarded bottom-test loop into top-test form"}, nil
+	return &Outcome{Desc: nd, Note: "rotated guarded bottom-test loop into top-test form"}, nil
 }
 
 func applyDoWhileCount(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {

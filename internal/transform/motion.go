@@ -14,8 +14,7 @@ func init() {
 			"shows them independent: neither writes anything the other reads " +
 			"or writes, and neither is a loop exit.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, _, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -23,12 +22,15 @@ func init() {
 				return nil, errPrecond("move.swap", "statement at %s has no successor", at)
 			}
 			a, b := blk.Stmts[idx], blk.Stmts[idx+1]
-			if !dataflow.Independent(a, b, dataflow.FuncMap(c)) {
+			if !dataflow.Independent(a, b, dataflow.FuncMap(d)) {
 				return nil, errPrecond("move.swap", "statements %q and %q are not independent",
 					isps.StmtString(a), isps.StmtString(b))
 			}
-			blk.Stmts[idx], blk.Stmts[idx+1] = b, a
-			return &Outcome{Desc: c, Note: "swapped independent statements"}, nil
+			nd, err := d.SpliceAtDesc(parentPath, idx, 2, b, a)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Desc: nd, Note: "swapped independent statements"}, nil
 		},
 	})
 
@@ -43,8 +45,7 @@ func init() {
 			"changed order). The path addresses the assignment; dir=down " +
 			"moves it past the following exit, dir=up past the preceding one.",
 		Apply: func(d *isps.Description, at isps.Path, args Args) (*Outcome, error) {
-			c := d.CloneDesc()
-			blk, _, idx, err := resolveStmtIndex(c, at)
+			blk, parentPath, idx, err := resolveStmtIndex(d, at)
 			if err != nil {
 				return nil, err
 			}
@@ -79,19 +80,26 @@ func init() {
 			}
 			// The assignment's reads must not be affected either (the exit
 			// evaluates no writes, so only the target matters).
-			loopAt, err := enclosingLoop(c, at)
+			loopAt, err := enclosingLoop(d, at)
 			if err != nil {
 				return nil, errPrecond("move.across.exit", "%v", err)
 			}
-			live, err := liveAtLoopExit(c, loopAt, lhs.Name)
+			live, err := liveAtLoopExit(d, loopAt, lhs.Name)
 			if err != nil {
 				return nil, err
 			}
 			if live {
 				return nil, errPrecond("move.across.exit", "%s is live at loop exit; moving it across the exit would be observable", lhs.Name)
 			}
-			blk.Stmts[idx], blk.Stmts[exitIdx] = blk.Stmts[exitIdx], blk.Stmts[idx]
-			return &Outcome{Desc: c, Note: "moved dead-at-exit assignment across exit_when"}, nil
+			lo := idx
+			if exitIdx < idx {
+				lo = exitIdx
+			}
+			nd, err := d.SpliceAtDesc(parentPath, lo, 2, blk.Stmts[lo+1], blk.Stmts[lo])
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Desc: nd, Note: "moved dead-at-exit assignment across exit_when"}, nil
 		},
 	})
 

@@ -360,7 +360,9 @@ func substituteIdent(root isps.Node, name string, repl isps.Expr) int {
 						return false
 					}
 				}
-				n.SetChild(i, repl.Clone())
+				if err := n.SetChild(i, repl.Clone()); err != nil {
+					return false
+				}
 				total++
 				continue
 			}
