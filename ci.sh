@@ -129,6 +129,35 @@ sed 's/"duration_ms":[0-9]*/"duration_ms":0/; s/"trace":"[^"]*"/"trace":""/' "$C
 diff "$CKPT_DIR/ref.norm" "$CKPT_DIR/journal.norm"
 rm -rf "$CKPT_DIR"
 
+# Discover-chaos stage: a bounded discovery sweep (with one candidate armed
+# to panic every attempt, so the poison quarantine is exercised) is killed
+# -9 mid-flight and resumed. The resume must replay the WAL rather than
+# re-prove journaled candidates (resumed > 0 in the summary), the poisoned
+# candidate must land in the dead-letter file, and the final report must be
+# byte-identical (modulo durations and trace IDs) to an uninterrupted run.
+DISC_DIR=$(mktemp -d)
+DISC_FLAGS="-machines VAX-11 -operators Pascal -depth 3 -budget 2000 -rungs 2 -inject-panic locc/sassign"
+/tmp/extra_ci discover -dir "$DISC_DIR/ref" -jobs 2 $DISC_FLAGS 2>"$DISC_DIR/ref.err"
+/tmp/extra_ci discover -dir "$DISC_DIR/sweep" -jobs 1 $DISC_FLAGS 2>"$DISC_DIR/kill.err" &
+DISC_PID=$!
+for _ in $(seq 1 200); do
+  if [ "$(grep -c . "$DISC_DIR/sweep/queue.jsonl" 2>/dev/null || echo 0)" -ge 4 ]; then break; fi
+  sleep 0.05
+done
+kill -9 "$DISC_PID"
+wait "$DISC_PID" || true
+test "$(grep -c . "$DISC_DIR/sweep/queue.jsonl")" -ge 4
+/tmp/extra_ci discover -dir "$DISC_DIR/sweep" -jobs 2 -resume $DISC_FLAGS 2>"$DISC_DIR/resume.err"
+cat "$DISC_DIR/resume.err"
+grep -Eq 'discover: summary .*resumed=[1-9]' "$DISC_DIR/resume.err"
+grep -q '"poison": 1' "$DISC_DIR/sweep/report.json"
+test -s "$DISC_DIR/sweep/poison.jsonl"
+grep -q '"class":"panic"' "$DISC_DIR/sweep/poison.jsonl"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$DISC_DIR/ref/report.json" > "$DISC_DIR/ref.norm"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$DISC_DIR/sweep/report.json" > "$DISC_DIR/sweep.norm"
+diff "$DISC_DIR/ref.norm" "$DISC_DIR/sweep.norm"
+rm -rf "$DISC_DIR"
+
 # Gateway chaos stage: boot the shard gateway over three supervised workers,
 # prove the merged /batch report is byte-identical (modulo durations and
 # trace IDs) to a single-process run, then kill -9 one worker mid-loadgen

@@ -45,6 +45,8 @@ import (
 	"extra/internal/catalog"
 	"extra/internal/codegen"
 	"extra/internal/core"
+	"extra/internal/discover"
+	"extra/internal/fault/inject"
 	"extra/internal/gateway"
 	"extra/internal/gg"
 	"extra/internal/hll"
@@ -97,9 +99,9 @@ func run(args []string) error {
 	}
 	if traceFile != "" {
 		switch args[0] {
-		case "analyze", "trace", "table2", "serve":
+		case "analyze", "trace", "table2", "serve", "discover":
 		default:
-			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2, serve)", args[0])
+			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2, serve, discover)", args[0])
 		}
 	}
 	switch args[0] {
@@ -144,6 +146,8 @@ func run(args []string) error {
 		return stats(ctx, args[1:])
 	case "batch":
 		return batchCmd(ctx, args[1:])
+	case "discover":
+		return discoverCmd(ctx, traceFile, args[1:])
 	case "serve":
 		return serveCmd(ctx, traceFile, args[1:])
 	case "gateway":
@@ -208,6 +212,23 @@ func usage(w io.Writer) {
                              -jsonl journals crash-safe; -resume FILE skips
                              rows journaled by a killed run;
                              -cache-dir DIR warm-starts from the result cache)
+  extra discover            durable discovery sweep: every unproven
+                            instruction x operator pair attacked with the
+                            bounded auto-search, progress journaled to a
+                            crash-safe WAL, report ranked by simulated
+                            cycle savings
+                            (-dir DIR holds queue.jsonl + poison.jsonl +
+                             report.json; -resume continues a killed sweep
+                             byte-identically; -jobs N, -depth D, -budget B,
+                             -rungs R shape the search ladder; -attempts N
+                             faulting runs before a candidate is quarantined
+                             to the poison.jsonl dead-letter;
+                             -each-timeout D, -lease-ttl D;
+                             -machines CSV, -operators CSV filter the
+                             cross-product; -cache-dir DIR dedups candidates
+                             across runs via the content-addressed cache;
+                             -inject-panic INS/OP arms a deterministic
+                             poison candidate for chaos drills)
   extra serve               serve analyses over HTTP+JSON until SIGTERM
                             (-addr HOST:PORT, -queue N, -jobs N,
                              -drain-timeout D, -validate N,
@@ -679,7 +700,10 @@ func statsRun(ctx context.Context) error {
 	}})); err != nil {
 		return err
 	}
-	return faultDrill(ctx)
+	if err := faultDrill(ctx); err != nil {
+		return err
+	}
+	return discoveryDrill(ctx)
 }
 
 // drillOp / drillIns differ by surface rewrites only (a commuted comparison
@@ -752,6 +776,81 @@ func faultDrill(ctx context.Context) error {
 	return nil
 }
 
+// discoveryDrill deterministically exercises the discovery sweep so the
+// stats report always carries its counters: a two-candidate sweep in a
+// throwaway directory — one auto-provable pair labeled as the movsb/sassign
+// emitter site (discover.found plus a real discover.savings.cycles gauge
+// from the simulator) and one candidate armed to panic on every attempt
+// (discover.poison, quarantined to the dead-letter journal) — followed by a
+// lease-expiry reclaim on a raw work queue (discover.leased /
+// discover.expired / discover.lease.late).
+func discoveryDrill(ctx context.Context) error {
+	dir, err := os.MkdirTemp("", "extra-discover-drill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cands := []discover.Candidate{
+		{Machine: "Intel 8086", Instruction: "movsb", Language: "Pascal", Operation: "string move",
+			Operator: "sassign", OpSrc: drillOp, InsSrc: drillIns},
+		{Machine: "Drill", Instruction: "wedge", Language: "Drill", Operation: "always faults",
+			Operator: "drillop", OpSrc: drillOp, InsSrc: drillIns},
+	}
+	in := inject.New(1)
+	in.Arm(inject.Fault{Point: discover.InjectPoint(cands[1]), Every: 1})
+	defer inject.Activate(in)()
+	s, err := discover.New(discover.Config{
+		Candidates: cands,
+		Dir:        filepath.Join(dir, "sweep"),
+		Jobs:       2,
+		Ladder:     []core.AutoRung{{MaxDepth: 3, Budget: 50000}},
+		LeaseTTL:   time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := s.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("discovery drill: %v", err)
+	}
+	if rep.Outcomes["found"] != 1 || rep.Outcomes["poison"] != 1 {
+		return fmt.Errorf("discovery drill: outcomes %v, want 1 found + 1 poison", rep.Outcomes)
+	}
+	// Lease-expiry reclaim on a bare queue: the first claim's deadline
+	// passes, the second claim gets the same candidate back, and the late
+	// completion from the first holder is dropped, not double-counted.
+	q, err := discover.OpenQueue(cands[:1], discover.QueueConfig{
+		Path:     filepath.Join(dir, "lease.jsonl"),
+		Config:   "drill",
+		LeaseTTL: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+	slow, err := q.Claim(ctx, 1)
+	if err != nil {
+		return err
+	}
+	time.Sleep(5 * time.Millisecond)
+	fast, err := q.Claim(ctx, 2)
+	if err != nil {
+		return err
+	}
+	row := discover.Result{Machine: cands[0].Machine, Instruction: cands[0].Instruction,
+		Language: cands[0].Language, Operation: cands[0].Operation, Operator: cands[0].Operator,
+		Outcome: "failed"}
+	if _, err := q.Complete(fast, row); err != nil {
+		return err
+	}
+	if accepted, err := q.Complete(slow, row); err != nil {
+		return err
+	} else if accepted {
+		return fmt.Errorf("discovery drill: late completion double-counted")
+	}
+	return nil
+}
+
 // statsReport writes the metrics report: the registry snapshot sorted by
 // (metric, label) so the output is stable across runs and diffable —
 // indented JSON by default, Prometheus text exposition under -format prom
@@ -802,11 +901,23 @@ func batchCmd(ctx context.Context, args []string) error {
 	ctx = obs.WithTraceID(ctx, runTrace)
 	fmt.Fprintf(os.Stderr, "batch: run trace %s\n", runTrace)
 	catalog := append(proofs.Table2(), proofs.Extensions()...)
+	// The run-config fingerprint covers every input that changes what a row
+	// means: the validation count and retry ladder (they land in row fields)
+	// and the catalog itself (a row set from an older catalog must not be
+	// silently mixed into a newer one on resume).
+	cfgParts := []string{"batch", "validate=" + strconv.Itoa(*validate), "retries=" + strconv.Itoa(*retries)}
+	for _, a := range catalog {
+		cfgParts = append(cfgParts, batch.AnalysisKey(a))
+	}
+	runConfig := batch.ConfigDigest(cfgParts...)
 	r := &batch.Runner{Jobs: *jobs, Validate: *validate, EachTimeout: *eachTimeout, Retries: *retries}
 	if *resume != "" {
-		prior, err := batch.ReadJournal(*resume)
+		prior, priorConfig, err := batch.ReadJournalConfig(*resume)
 		if err != nil {
 			return fmt.Errorf("-resume: %v", err)
+		}
+		if priorConfig != "" && priorConfig != runConfig {
+			return fmt.Errorf("-resume: journal %s was written under config %s, this run is %s (different -validate/-retries/catalog); resume with matching flags or start fresh", *resume, priorConfig, runConfig)
 		}
 		r.Completed = batch.CompletedFrom(prior)
 	}
@@ -867,6 +978,10 @@ func batchCmd(ctx context.Context, args []string) error {
 	if *asJSONL != "" && *asJSONL != "-" {
 		j, err := batch.OpenJournal(*asJSONL)
 		if err != nil {
+			return err
+		}
+		if err := j.WriteHeader(runConfig); err != nil {
+			j.Close()
 			return err
 		}
 		journal = j
@@ -938,6 +1053,105 @@ func batchCmd(ctx context.Context, args []string) error {
 // JSONL journal the batch command uses; `--trace FILE` streams every
 // request's span tree (ingress, admission, cache, engine — all stamped with
 // the request's trace ID) as JSON lines.
+// discoverCmd runs the durable discovery sweep: the unproven instruction x
+// operator cross-product, a crash-safe leased work queue under -dir, and a
+// report ranking whatever the bounded auto-search proves by simulated cycle
+// savings. A killed sweep resumes with -resume; repeatedly faulting
+// candidates land in -dir/poison.jsonl instead of wedging the run.
+func discoverCmd(ctx context.Context, traceFile string, args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
+	dir := fs.String("dir", "", "durable sweep `directory`: queue.jsonl (WAL), poison.jsonl (dead-letter), report.json")
+	jobs := fs.Int("jobs", 0, "candidate-level worker count (0 = GOMAXPROCS)")
+	depth := fs.Int("depth", 3, "auto-search ladder: first rung's max depth")
+	budget := fs.Int("budget", 1000, "auto-search ladder: first rung's state budget")
+	rungs := fs.Int("rungs", 2, "auto-search ladder rungs (each doubles depth and quadruples budget)")
+	attempts := fs.Int("attempts", 2, "faulting attempts per candidate before it is quarantined as poison")
+	eachTimeout := fs.Duration("each-timeout", 0, "per-attempt deadline (0 = none)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "work-queue lease deadline; an expired lease returns its candidate")
+	resume := fs.Bool("resume", false, "replay -dir's WAL and continue the interrupted sweep")
+	cacheDir := fs.String("cache-dir", "", "dedup candidates across runs via the content-addressed cache in `directory`")
+	machinesCSV := fs.String("machines", "", "restrict the sweep to these machine or instruction `names` (comma-separated)")
+	operatorsCSV := fs.String("operators", "", "restrict the sweep to these language, operation, or operator `names` (comma-separated)")
+	injectPanic := fs.String("inject-panic", "", "arm a deterministic panic at candidate `INS/OP` every attempt (chaos testing)")
+	searchWorkers := fs.Int("search-workers", 1, "auto-search frontier pool width per candidate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: extra discover -dir DIR [flags]")
+	}
+	if *dir == "" {
+		return fmt.Errorf("extra discover: -dir is required (it holds the sweep's durable state)")
+	}
+	if *injectPanic != "" {
+		in := inject.New(1)
+		in.Arm(inject.Fault{Point: "discover.candidate:" + *injectPanic, Every: 1})
+		defer inject.Activate(in)()
+	}
+	var ch *cache.Cache
+	if *cacheDir != "" {
+		// KeepFailures: a sweep's negative rows are deterministic under this
+		// configuration and are exactly the rows a re-launch must not redo.
+		c, err := cache.New(cache.Config{Dir: *cacheDir, KeepFailures: true})
+		if err != nil {
+			return err
+		}
+		ch = c
+	}
+	runTrace := obs.NewTraceID()
+	ctx = obs.WithTraceID(ctx, runTrace)
+	fmt.Fprintf(os.Stderr, "discover: run trace %s\n", runTrace)
+	return withTracer(traceFile, func(tr *obs.Tracer) error {
+		s, err := discover.New(discover.Config{
+			Machines:      splitCSV(*machinesCSV),
+			Operators:     splitCSV(*operatorsCSV),
+			Dir:           *dir,
+			Jobs:          *jobs,
+			Ladder:        core.AutoLadder(*depth, *budget, *rungs),
+			SearchWorkers: *searchWorkers,
+			Attempts:      *attempts,
+			EachTimeout:   *eachTimeout,
+			LeaseTTL:      *leaseTTL,
+			Resume:        *resume,
+			Cache:         ch,
+			Tracer:        tr,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "discover: %d candidates under config %s (%d resumed)\n",
+			s.Candidates(), s.ConfigDigest(), s.Resumed())
+		rep, err := s.Run(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "discover: interrupted; every completed candidate is journaled — continue with: extra discover -dir %s -resume\n", *dir)
+			}
+			return err
+		}
+		m := obs.Default()
+		fmt.Fprintf(os.Stderr, "discover: summary found=%d failed=%d poison=%d leased=%d expired=%d resumed=%d cached=%d\n",
+			m.Total("discover.found"), m.Total("discover.failed"), m.Total("discover.poison"),
+			m.Total("discover.leased"), m.Total("discover.expired"), m.Total("discover.resumed"),
+			m.Total("discover.cached"))
+		rep.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "discover: report written to %s\n", filepath.Join(*dir, "report.json"))
+		return nil
+	})
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func serveCmd(ctx context.Context, traceFile string, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8372", "listen `address` (host:port; port 0 picks a free port)")

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -46,11 +47,18 @@ type Journal struct {
 
 // OpenJournal opens (creating if needed) an append-mode journal at path.
 // An existing journal is extended, not truncated — resume appends the
-// remaining rows after the survivors.
+// remaining rows after the survivors. The parent directory is fsynced after
+// the open, so a journal created just before a crash still has a directory
+// entry on recovery — the same dir-sync WriteFileAtomic performs after its
+// rename; rows alone being durable is worthless if the file name is not.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync() // best-effort: some filesystems refuse directory fsync
+		d.Close()
 	}
 	return &Journal{f: f, path: path}, nil
 }
@@ -73,6 +81,121 @@ func (j *Journal) Append(r Result) error {
 		return err
 	}
 	return j.f.Sync()
+}
+
+// AppendAny journals one arbitrary row with the same durability contract as
+// Append: encode fully, write one line, fsync. Sweep drivers use this for
+// their non-Result rows (leases, quarantine entries) so every row type in a
+// work-queue WAL shares one torn-tail-tolerant line discipline.
+func (j *Journal) AppendAny(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// journalMagic marks a header line; rows never carry this field, so a
+// reader can tell the two apart without guessing.
+const journalMagic = "extra.journal"
+
+// header is the journal's first line when the writer declared its run
+// configuration: a digest over every flag and catalog fact that changes
+// what the rows mean. Resume against a journal written under a different
+// configuration is rejected instead of silently mixing incompatible rows.
+type header struct {
+	Journal string `json:"journal"`
+	Version int    `json:"version"`
+	Config  string `json:"config"`
+}
+
+// asHeader reports whether a journal line is a header line.
+func asHeader(line []byte) (header, bool) {
+	if !bytes.Contains(line, []byte(`"journal"`)) {
+		return header{}, false
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil || h.Journal != journalMagic {
+		return header{}, false
+	}
+	return h, true
+}
+
+// WriteHeader stamps a new (empty) journal with the run-config digest as
+// its first line. On a non-empty journal it verifies instead of writing:
+// a matching header (or a legacy headerless journal, which predates the
+// fingerprint) is accepted, a mismatched one is a hard error — the caller
+// is about to append rows produced under a different configuration.
+func (j *Journal) WriteHeader(config string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() > 0 {
+		existing, err := readHeader(j.path)
+		if err != nil {
+			return err
+		}
+		if existing != "" && existing != config {
+			return fmt.Errorf("journal %s was written under config %s, this run is %s: resume with matching flags or start a fresh journal", j.path, existing, config)
+		}
+		return nil
+	}
+	line, err := json.Marshal(header{Journal: journalMagic, Version: 1, Config: config})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// readHeader returns the journal's config digest, or "" for a legacy
+// headerless (or missing, or torn-at-line-one) journal.
+func readHeader(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if h, ok := asHeader(line); ok {
+			return h.Config, nil
+		}
+		return "", nil
+	}
+	return "", sc.Err()
+}
+
+// ConfigDigest folds the given configuration facts into the short stable
+// digest WriteHeader records: FNV-1a 64 over the parts with a separator, so
+// any reordering or edit of a part changes the fingerprint.
+func ConfigDigest(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Close closes the journal file, leaving its contents as-is.
@@ -102,16 +225,46 @@ func (j *Journal) Rewrite(results []Result) error {
 // empty journal (resume of a run that never started). The read stops at the
 // first line that is not a complete JSON row — the torn tail of a kill -9 —
 // and returns every row before it; a torn tail is expected, not an error.
+// A config-fingerprint header line is skipped; ReadJournalConfig also
+// returns it.
 func ReadJournal(path string) ([]Result, error) {
+	rows, _, err := ReadJournalConfig(path)
+	return rows, err
+}
+
+// ReadJournalConfig is ReadJournal plus the journal's config digest ("" for
+// a legacy headerless journal). Resume paths compare the digest against the
+// current run's and refuse a mismatch.
+func ReadJournalConfig(path string) ([]Result, string, error) {
+	lines, config, err := ReadJournalLines(path)
+	if err != nil {
+		return nil, config, err
+	}
+	var rows []Result
+	for _, line := range lines {
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			break
+		}
+		rows = append(rows, r)
+	}
+	return rows, config, nil
+}
+
+// ReadJournalLines loads the surviving raw JSON lines of a journal plus its
+// config digest, for callers whose journals interleave row types beyond
+// Result (a discovery WAL's leases and quarantine rows). Each returned line
+// is complete, verified JSON; the torn tail of a kill -9 is dropped, and a
+// missing file is an empty journal.
+func ReadJournalLines(path string) (lines [][]byte, config string, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, "", nil
 		}
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
-	var rows []Result
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
@@ -119,16 +272,19 @@ func ReadJournal(path string) ([]Result, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var r Result
-		if err := json.Unmarshal(line, &r); err != nil {
-			break
+		if !json.Valid(line) {
+			break // the torn tail of a kill -9: expected, not an error
 		}
-		rows = append(rows, r)
+		if h, ok := asHeader(line); ok {
+			config = h.Config
+			continue
+		}
+		lines = append(lines, append([]byte(nil), line...))
 	}
 	if err := sc.Err(); err != nil {
-		return rows, fmt.Errorf("reading journal %s: %w", path, err)
+		return lines, config, fmt.Errorf("reading journal %s: %w", path, err)
 	}
-	return rows, nil
+	return lines, config, nil
 }
 
 // CompletedFrom builds the Runner.Completed skip set from journaled rows:

@@ -265,3 +265,143 @@ func TestRunnerRetryEscalatesTimeout(t *testing.T) {
 		t.Errorf("batch.recovered = %d, want 1", got)
 	}
 }
+
+// TestJournalHeaderRoundTrip: WriteHeader stamps the config fingerprint,
+// ReadJournalConfig surfaces it, and the data rows are unaffected.
+func TestJournalHeaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConfigDigest("validate=8", "retries=1")
+	if err := j.WriteHeader(cfg); err != nil {
+		t.Fatal(err)
+	}
+	row := Result{Machine: "m", Instruction: "i", Language: "l", Operation: "o", Operator: "p", Outcome: "ok"}
+	if err := j.Append(row); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	rows, got, err := ReadJournalConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("config %q back, want %q", got, cfg)
+	}
+	if len(rows) != 1 || rows[0] != row {
+		t.Fatalf("rows %+v, want the one appended row", rows)
+	}
+	// ReadJournal must skip the header, not decode it as an empty row.
+	plain, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 {
+		t.Fatalf("ReadJournal: %d rows, want 1 (header skipped)", len(plain))
+	}
+}
+
+// TestJournalHeaderMismatch: re-opening a journal under a different
+// configuration is refused with an explanation, not silently mixed.
+func TestJournalHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(ConfigDigest("validate=8")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	err = j2.WriteHeader(ConfigDigest("validate=16"))
+	if err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("mismatched header accepted: %v", err)
+	}
+	// The matching config is still accepted (idempotent re-open).
+	if err := j2.WriteHeader(ConfigDigest("validate=8")); err != nil {
+		t.Fatalf("matching header refused: %v", err)
+	}
+}
+
+// TestJournalLegacyHeaderless: journals from before the header era load
+// with an empty config and all their rows.
+func TestJournalLegacyHeaderless(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	line := `{"machine":"m","instruction":"i","language":"l","operation":"o","operator":"p","outcome":"ok","duration_ms":1}` + "\n"
+	if err := os.WriteFile(path, []byte(line+line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, cfg, err := ReadJournalConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != "" {
+		t.Fatalf("legacy journal produced config %q, want empty", cfg)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	// And a header write onto the non-empty legacy journal is tolerated.
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.WriteHeader(ConfigDigest("anything")); err != nil {
+		t.Fatalf("WriteHeader on a legacy journal: %v", err)
+	}
+}
+
+// TestJournalAppendAny: arbitrary row shapes share the journal's
+// fsync-per-line discipline and come back via ReadJournalLines.
+func TestJournalAppendAny(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "any.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteHeader(ConfigDigest("x")); err != nil {
+		t.Fatal(err)
+	}
+	type custom struct {
+		Kind string `json:"kind"`
+		N    int    `json:"n"`
+	}
+	if err := j.AppendAny(custom{Kind: "lease", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	lines, cfg, err := ReadJournalLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != ConfigDigest("x") {
+		t.Fatalf("config %q", cfg)
+	}
+	if len(lines) != 1 || !strings.Contains(string(lines[0]), `"kind":"lease"`) {
+		t.Fatalf("lines: %q", lines)
+	}
+}
+
+// TestConfigDigestStability: the digest is deterministic, order-sensitive,
+// and collision-averse for the empty/boundary cases that matter.
+func TestConfigDigestStability(t *testing.T) {
+	if ConfigDigest("a", "b") != ConfigDigest("a", "b") {
+		t.Fatal("digest is not deterministic")
+	}
+	if ConfigDigest("a", "b") == ConfigDigest("b", "a") {
+		t.Fatal("digest ignores order")
+	}
+	if ConfigDigest("ab") == ConfigDigest("a", "b") {
+		t.Fatal("digest ignores part boundaries")
+	}
+}

@@ -59,6 +59,13 @@ type Key struct {
 	Validate int
 	// Extended marks extended-mode analyses (predicate constraints).
 	Extended bool
+	// Salt partitions key spaces that share description digests but not
+	// semantics: a discovery sweep folds its search configuration (ladder
+	// depth/budget, attempt count) in here, so a row produced under a small
+	// budget is never served to a sweep running a larger one. Zero — the
+	// proof-catalog key space — leaves filenames and existing entries
+	// untouched.
+	Salt uint64
 }
 
 // KeyFor resolves the analysis' operator and instruction descriptions from
@@ -76,6 +83,14 @@ func KeyFor(a *proofs.Analysis, validate int) (Key, bool) {
 	return Key{Digest: isps.HashPair(op, ins), Validate: validate, Extended: a.Extended}, true
 }
 
+// KeyForPair digests an explicit description pair into a cache key, for
+// callers whose work items are not proof-catalog analyses — the discovery
+// sweep keys on the exact (operator, instruction) trees it searches over,
+// salted with its search configuration. Both descriptions must be non-nil.
+func KeyForPair(op, ins *isps.Description, validate int, extended bool, salt uint64) Key {
+	return Key{Digest: isps.HashPair(op, ins), Validate: validate, Extended: extended, Salt: salt}
+}
+
 // Entry is one cached analysis result: the report row, plus (when the
 // producer had it in hand) the binding serialized as the compiler-interface
 // document, so a warm consumer can reconstruct the full analysis product
@@ -83,6 +98,11 @@ func KeyFor(a *proofs.Analysis, validate int) (Key, bool) {
 type Entry struct {
 	Result  batch.Result    `json:"result"`
 	Binding json.RawMessage `json:"binding,omitempty"`
+	// Sweep carries a producer-specific row alongside the batch-shaped one:
+	// the discovery sweep stores its full report row (savings, fault class,
+	// attempt count) here so a warm hit reconstructs it exactly. Opaque to
+	// the cache; covered by the envelope checksum like everything else.
+	Sweep json.RawMessage `json:"sweep,omitempty"`
 }
 
 // Config parameterizes a Cache.
@@ -94,6 +114,13 @@ type Config struct {
 	// Dir, when non-empty, enables the persistent tier: one self-checksummed
 	// JSON file per key under this directory (created if needed).
 	Dir string
+	// KeepFailures caches rows whatever their outcome. The default (false)
+	// keeps the serving-path contract — only "ok" rows are cached, failures
+	// are the circuit breaker's department — but a discovery sweep opts in:
+	// its negative results ("failed", "poison") are deterministic under a
+	// fixed search configuration (which the Key's Salt carries), and they
+	// are precisely the expensive rows a re-launched sweep must not redo.
+	KeepFailures bool
 	// Metrics receives the cache.* series; nil means the process default.
 	Metrics *obs.Registry
 }
@@ -276,7 +303,7 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 // DurationMS and Trace are zeroed: a warm hit reports its own serve cost
 // and belongs to the *serving* request's trace, not the producing one's.
 func (c *Cache) Put(k Key, ent Entry) {
-	if c == nil || ent.Result.Outcome != "ok" {
+	if c == nil || (ent.Result.Outcome != "ok" && !c.cfg.KeepFailures) {
 		return
 	}
 	ent.Result.DurationMS = 0
@@ -358,7 +385,7 @@ func (c *Cache) Do(ctx context.Context, k Key, fn func() (Entry, bool)) (Entry, 
 	if !ok {
 		return Entry{}, OutcomeMiss, ErrNoResult
 	}
-	if ent.Result.Outcome == "ok" {
+	if ent.Result.Outcome == "ok" || c.cfg.KeepFailures {
 		ent.Result.DurationMS = 0
 		ent.Result.Trace = ""
 		c.memPut(k, ent)

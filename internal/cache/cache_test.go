@@ -375,7 +375,7 @@ func TestCorruptEntryIsAMiss(t *testing.T) {
 // TestForgedOutcomeRejected: an on-disk entry whose payload checksums
 // correctly but claims a non-ok outcome is still refused — the disk tier
 // only ever serves successes.
-func TestForgedOutcomeRejected(t *testing.T) {
+func TestNonOKEntryNotServedByDefault(t *testing.T) {
 	dir := t.TempDir()
 	m := obs.NewRegistry()
 	c, err := New(Config{Dir: dir, Metrics: m})
@@ -388,14 +388,50 @@ func TestForgedOutcomeRejected(t *testing.T) {
 	payload, _ := json.Marshal(&ent)
 	env := envelope{Sum: checksum(payload), Entry: payload}
 	data, _ := json.Marshal(&env)
-	if err := os.WriteFile(filepath.Join(dir, k.filename()), data, 0o644); err != nil {
+	path := filepath.Join(dir, k.filename())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// A default cache misses on the non-ok row — but the entry belongs to a
+	// KeepFailures producer (a discovery sweep), so it is intact on disk,
+	// not corruption to delete.
 	if _, ok := c.Get(k); ok {
 		t.Fatal("non-ok on-disk row served as a hit")
 	}
-	if m.Counter("cache.corrupt", "corrupt-binding") != 1 {
-		t.Error("forged outcome not counted as corruption")
+	if m.Counter("cache.corrupt", "corrupt-binding") != 0 {
+		t.Error("intact non-ok entry counted as corruption")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("intact non-ok entry deleted: %v", err)
+	}
+	// A KeepFailures cache over the same directory serves it.
+	kc, err := New(Config{Dir: dir, KeepFailures: true, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := kc.Get(k)
+	if !ok || got.Result.Outcome != "panic" {
+		t.Fatalf("KeepFailures cache: ok=%v outcome=%q, want the persisted failure row", ok, got.Result.Outcome)
+	}
+	// A missing outcome is still corruption (fresh cache: the hit above
+	// promoted the row into kc's memory tier).
+	bad := okEntry("slt")
+	bad.Result.Outcome = ""
+	payload, _ = json.Marshal(&bad)
+	env = envelope{Sum: checksum(payload), Entry: payload}
+	data, _ = json.Marshal(&env)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kc2, err := New(Config{Dir: dir, KeepFailures: true, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kc2.Get(k); ok {
+		t.Fatal("outcome-less entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt outcome-less entry not removed")
 	}
 }
 

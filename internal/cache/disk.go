@@ -33,11 +33,17 @@ type envelope struct {
 }
 
 // filename renders the key as a filesystem-safe, content-addressed name:
-// the digest in hex plus the option fields that distinguish rows.
+// the digest in hex plus the option fields that distinguish rows. A salted
+// key (a discovery sweep's search-configuration partition) carries its salt
+// as an extra suffix; unsalted keys keep the historical name, so existing
+// cache directories stay warm.
 func (k Key) filename() string {
 	ext := 0
 	if k.Extended {
 		ext = 1
+	}
+	if k.Salt != 0 {
+		return fmt.Sprintf("%016x%016x-v%d-e%d-s%016x.json", k.Digest.Hi, k.Digest.Lo, k.Validate, ext, k.Salt)
 	}
 	return fmt.Sprintf("%016x%016x-v%d-e%d.json", k.Digest.Hi, k.Digest.Lo, k.Validate, ext)
 }
@@ -91,6 +97,11 @@ func (c *Cache) diskGet(k Key) (Entry, bool) {
 		c.corrupt(k, path, err)
 		return Entry{}, false
 	}
+	if ent.Result.Outcome != "ok" && !c.cfg.KeepFailures {
+		// A negative row persisted by a KeepFailures producer (a discovery
+		// sweep). It is intact, just not this cache's to serve — or delete.
+		return Entry{}, false
+	}
 	return ent, true
 }
 
@@ -114,8 +125,8 @@ func decodeEnvelope(data []byte) (Entry, error) {
 	if err := json.Unmarshal(env.Entry, &ent); err != nil {
 		return Entry{}, fmt.Errorf("unparseable entry: %w", err)
 	}
-	if ent.Result.Outcome != "ok" {
-		return Entry{}, fmt.Errorf("non-ok outcome %q in a cache entry", ent.Result.Outcome)
+	if ent.Result.Outcome == "" {
+		return Entry{}, fmt.Errorf("missing outcome in a cache entry")
 	}
 	return ent, nil
 }

@@ -1,0 +1,363 @@
+package discover
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/obs"
+)
+
+// The disk-backed work queue. Every state change that must survive a kill
+// is one fsync'd JSONL row in the WAL (batch.Journal idioms: encode fully,
+// write one line, fsync; torn tails are expected and dropped on read):
+//
+//	{"journal":"extra.journal","version":1,"config":"<digest>"}   header
+//	{"lease":{"key":"...","worker":1,"deadline_unix_ms":...}}      claim
+//	{"result":{...}}                                               completion
+//
+// A worker claims a candidate by journaling a lease with a deadline; a
+// lease that expires (worker wedged, process killed) returns its candidate
+// to the queue; a completion is idempotent — the first journaled result row
+// per key wins, so a lease-holder that finishes after its lease expired and
+// the candidate was re-run cannot double-count. Resume replays the WAL: the
+// header fingerprint must match this run's configuration, completed rows
+// are carried over (discover.resumed), and surviving leases — all owned by
+// a process that no longer exists — are expired on the spot
+// (discover.expired).
+
+// walRow is the WAL line envelope; exactly one field is set per row.
+type walRow struct {
+	Lease  *walLease `json:"lease,omitempty"`
+	Result *Result   `json:"result,omitempty"`
+}
+
+// walLease journals a claim: who holds which candidate until when.
+type walLease struct {
+	Key      string `json:"key"`
+	Worker   int    `json:"worker"`
+	Deadline int64  `json:"deadline_unix_ms"`
+}
+
+// Lease is a held claim on one candidate. The holder must either Complete
+// it or let it expire; there is no explicit release.
+type Lease struct {
+	Cand     Candidate
+	key      string
+	idx      int
+	worker   int
+	deadline time.Time
+}
+
+// Deadline reports when the lease expires and its candidate returns to the
+// queue.
+func (l *Lease) Deadline() time.Time { return l.deadline }
+
+// QueueConfig parameterizes a Queue.
+type QueueConfig struct {
+	// Path is the WAL file.
+	Path string
+	// Config is the run-configuration digest stamped into the WAL header;
+	// resume against a WAL with a different digest is refused.
+	Config string
+	// LeaseTTL is how long a claim holds before its candidate returns to
+	// the queue (default 30s).
+	LeaseTTL time.Duration
+	// Resume accepts an existing non-empty WAL and replays it; without it,
+	// an existing WAL is an error — refusing to silently extend a previous
+	// run beats corrupting it.
+	Resume bool
+	// Metrics receives discover.leased/expired/resumed; nil means the
+	// process default.
+	Metrics *obs.Registry
+}
+
+// Queue is the durable lease-based work queue over a fixed candidate set.
+// All methods are safe for concurrent use by a pool of workers.
+type Queue struct {
+	cfg   QueueConfig
+	cands []Candidate
+	byKey map[string]int
+
+	mu      sync.Mutex
+	journal *batch.Journal
+	pending []int // candidate indices, in candidate order
+	leases  map[string]*leaseState
+	done    map[string]Result
+	resumed int
+	closed  bool
+
+	wake chan struct{}
+}
+
+type leaseState struct {
+	idx      int
+	worker   int
+	deadline time.Time
+}
+
+// OpenQueue builds the queue over cands, creating or resuming the WAL at
+// cfg.Path. On resume, rows journaled by the previous run are already done;
+// Resumed reports how many.
+func OpenQueue(cands []Candidate, cfg QueueConfig) (*Queue, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	q := &Queue{
+		cfg:    cfg,
+		cands:  cands,
+		byKey:  make(map[string]int, len(cands)),
+		leases: map[string]*leaseState{},
+		done:   map[string]Result{},
+		wake:   make(chan struct{}, 1),
+	}
+	for i, c := range cands {
+		k := c.Key()
+		if _, dup := q.byKey[k]; dup {
+			return nil, fmt.Errorf("discover: duplicate candidate %s", k)
+		}
+		q.byKey[k] = i
+	}
+	if st, err := os.Stat(cfg.Path); err == nil && st.Size() > 0 && !cfg.Resume {
+		return nil, fmt.Errorf("discover: %s already holds a sweep journal; pass -resume to continue it or choose a fresh directory", cfg.Path)
+	}
+	if cfg.Resume {
+		if err := q.load(); err != nil {
+			return nil, err
+		}
+	}
+	j, err := batch.OpenJournal(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.WriteHeader(cfg.Config); err != nil {
+		j.Close()
+		return nil, err
+	}
+	q.journal = j
+	for i, c := range cands {
+		if _, ok := q.done[c.Key()]; !ok {
+			q.pending = append(q.pending, i)
+		}
+	}
+	m := q.metrics()
+	m.Add("discover.resumed", "", uint64(q.resumed))
+	return q, nil
+}
+
+func (q *Queue) metrics() *obs.Registry {
+	if q.cfg.Metrics != nil {
+		return q.cfg.Metrics
+	}
+	return obs.Default()
+}
+
+// load replays a previous run's WAL: completions carry over, leases of the
+// (dead) previous process expire immediately.
+func (q *Queue) load() error {
+	lines, config, err := batch.ReadJournalLines(q.cfg.Path)
+	if err != nil {
+		return err
+	}
+	if config != "" && config != q.cfg.Config {
+		return fmt.Errorf("discover: journal %s was written under config %s, this run is %s (different candidate set, ladder, attempts, or timeout); resume with matching flags or start fresh", q.cfg.Path, config, q.cfg.Config)
+	}
+	stale := 0
+	leased := map[string]bool{}
+	for _, line := range lines {
+		var row walRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			continue // an unknown row type from a future version: skip, not fatal
+		}
+		switch {
+		case row.Lease != nil:
+			if _, known := q.byKey[row.Lease.Key]; known {
+				leased[row.Lease.Key] = true
+			}
+		case row.Result != nil:
+			r := *row.Result
+			k := r.Key()
+			if _, known := q.byKey[k]; !known {
+				return fmt.Errorf("discover: journal %s holds a row for unknown candidate %s", q.cfg.Path, k)
+			}
+			if _, dup := q.done[k]; !dup {
+				q.done[k] = r
+				q.resumed++
+			}
+			delete(leased, k)
+		}
+	}
+	for range leased {
+		stale++
+	}
+	if stale > 0 {
+		q.metrics().Add("discover.expired", "", uint64(stale))
+	}
+	return nil
+}
+
+// Claim blocks until a candidate is available, every candidate is done
+// (returns nil, nil), or ctx ends. A granted claim is journaled before it
+// is returned, so a kill between grant and completion is visible to resume
+// as an expired lease, never as silent loss.
+func (q *Queue) Claim(ctx context.Context, worker int) (*Lease, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, fmt.Errorf("discover: queue is closed")
+		}
+		// Skip keys that were requeued by an expiry and then completed by
+		// the original (late) holder.
+		for len(q.pending) > 0 {
+			if _, ok := q.done[q.cands[q.pending[0]].Key()]; !ok {
+				break
+			}
+			q.pending = q.pending[1:]
+		}
+		if len(q.pending) > 0 {
+			idx := q.pending[0]
+			q.pending = q.pending[1:]
+			c := q.cands[idx]
+			k := c.Key()
+			deadline := time.Now().Add(q.cfg.LeaseTTL)
+			row := walRow{Lease: &walLease{Key: k, Worker: worker, Deadline: deadline.UnixMilli()}}
+			if err := q.journal.AppendAny(row); err != nil {
+				// The claim never happened: put the candidate back.
+				q.pending = append([]int{idx}, q.pending...)
+				q.mu.Unlock()
+				return nil, fmt.Errorf("discover: journaling lease for %s: %w", k, err)
+			}
+			q.leases[k] = &leaseState{idx: idx, worker: worker, deadline: deadline}
+			q.mu.Unlock()
+			q.metrics().Inc("discover.leased", "")
+			return &Lease{Cand: c, key: k, idx: idx, worker: worker, deadline: deadline}, nil
+		}
+		if len(q.leases) == 0 {
+			q.mu.Unlock()
+			q.nudge() // cascade the drained verdict to other waiters
+			return nil, nil
+		}
+		// All remaining candidates are leased: wait for a completion or the
+		// earliest expiry, whichever comes first.
+		now := time.Now()
+		expired := q.expireLocked(now)
+		if expired > 0 {
+			q.mu.Unlock()
+			q.metrics().Add("discover.expired", "", uint64(expired))
+			continue
+		}
+		earliest := time.Time{}
+		for _, ls := range q.leases {
+			if earliest.IsZero() || ls.deadline.Before(earliest) {
+				earliest = ls.deadline
+			}
+		}
+		q.mu.Unlock()
+		timer := time.NewTimer(earliest.Sub(now))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-q.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// expireLocked returns expired leases' candidates to the queue in candidate
+// order. The caller holds q.mu.
+func (q *Queue) expireLocked(now time.Time) int {
+	var back []int
+	for k, ls := range q.leases {
+		if !ls.deadline.After(now) {
+			back = append(back, ls.idx)
+			delete(q.leases, k)
+		}
+	}
+	sort.Ints(back)
+	q.pending = append(back, q.pending...)
+	return len(back)
+}
+
+// Complete journals the result for a held lease. It is idempotent per
+// candidate: the first completion wins and is journaled; a later one — a
+// holder finishing after its lease expired and the candidate was re-run —
+// is dropped (discover.lease.late) and reports accepted=false.
+func (q *Queue) Complete(l *Lease, r Result) (accepted bool, err error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false, fmt.Errorf("discover: queue is closed")
+	}
+	if _, dup := q.done[l.key]; dup {
+		q.mu.Unlock()
+		q.metrics().Inc("discover.lease.late", "")
+		q.nudge()
+		return false, nil
+	}
+	if err := q.journal.AppendAny(walRow{Result: &r}); err != nil {
+		q.mu.Unlock()
+		return false, fmt.Errorf("discover: journaling result for %s: %w", l.key, err)
+	}
+	q.done[l.key] = r
+	delete(q.leases, l.key)
+	q.mu.Unlock()
+	q.nudge()
+	return true, nil
+}
+
+// nudge wakes (at most) one Claim waiter.
+func (q *Queue) nudge() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Resumed reports how many completed rows were carried over from a
+// previous run's WAL.
+func (q *Queue) Resumed() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.resumed
+}
+
+// Remaining reports how many candidates are not yet completed.
+func (q *Queue) Remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.cands) - len(q.done)
+}
+
+// Done returns the completed rows in candidate order. Only meaningful once
+// Claim has reported drained to every worker.
+func (q *Queue) Done() []Result {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rows := make([]Result, 0, len(q.done))
+	for _, c := range q.cands {
+		if r, ok := q.done[c.Key()]; ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// Close closes the WAL. The journal file is left as-is: it is the resume
+// source, never compacted — the canonical report is a separate artifact.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	return q.journal.Close()
+}

@@ -1,0 +1,314 @@
+package discover
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"extra/internal/batch"
+	"extra/internal/obs"
+)
+
+func qCands(n int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{
+			Machine:     "QM",
+			Instruction: "ins" + string(rune('a'+i)),
+			Language:    "QL",
+			Operation:   "op",
+			Operator:    "qop",
+		}
+	}
+	return cands
+}
+
+func qConfig(t *testing.T, dir string, ttl time.Duration) QueueConfig {
+	t.Helper()
+	return QueueConfig{
+		Path:     filepath.Join(dir, "queue.jsonl"),
+		Config:   "cafe0123cafe0123",
+		LeaseTTL: ttl,
+		Metrics:  obs.NewRegistry(),
+	}
+}
+
+func qRow(c Candidate, outcome string) Result {
+	return Result{
+		Machine:     c.Machine,
+		Instruction: c.Instruction,
+		Language:    c.Language,
+		Operation:   c.Operation,
+		Operator:    c.Operator,
+		Outcome:     outcome,
+	}
+}
+
+// TestQueueDoubleClaimIdempotence is the lease-semantics core: a worker's
+// lease expires mid-flight, a second worker re-claims the same candidate,
+// both finish — exactly one result row counts and exactly one lands in the
+// WAL. Run under -race: the two completions are genuinely concurrent.
+func TestQueueDoubleClaimIdempotence(t *testing.T) {
+	cands := qCands(1)
+	cfg := qConfig(t, t.TempDir(), 30*time.Millisecond)
+	q, err := OpenQueue(cands, cfg)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	defer q.Close()
+	ctx := context.Background()
+
+	slow, err := q.Claim(ctx, 1)
+	if err != nil || slow == nil {
+		t.Fatalf("first claim: %v %v", slow, err)
+	}
+	// Wait out the TTL so the candidate returns to the queue, then have a
+	// second worker re-claim it.
+	time.Sleep(50 * time.Millisecond)
+	fast, err := q.Claim(ctx, 2)
+	if err != nil || fast == nil {
+		t.Fatalf("re-claim after expiry: %v %v", fast, err)
+	}
+	if fast.Cand.Key() != slow.Cand.Key() {
+		t.Fatalf("re-claimed %s, want %s", fast.Cand.Key(), slow.Cand.Key())
+	}
+	if cfg.Metrics.Total("discover.expired") != 1 {
+		t.Fatalf("discover.expired = %d, want 1", cfg.Metrics.Total("discover.expired"))
+	}
+
+	// Both holders complete concurrently.
+	var mu sync.Mutex
+	accepted := 0
+	var wg sync.WaitGroup
+	for _, l := range []*Lease{slow, fast} {
+		wg.Add(1)
+		go func(l *Lease) {
+			defer wg.Done()
+			ok, err := q.Complete(l, qRow(l.Cand, "found"))
+			if err != nil {
+				t.Errorf("Complete: %v", err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				accepted++
+				mu.Unlock()
+			}
+		}(l)
+	}
+	wg.Wait()
+	if accepted != 1 {
+		t.Fatalf("%d completions accepted, want exactly 1", accepted)
+	}
+	if rows := q.Done(); len(rows) != 1 {
+		t.Fatalf("Done: %d rows, want 1", len(rows))
+	}
+	if cfg.Metrics.Total("discover.lease.late") != 1 {
+		t.Fatalf("discover.lease.late = %d, want 1", cfg.Metrics.Total("discover.lease.late"))
+	}
+	// The WAL agrees: one result row, two lease rows.
+	lines, _, err := batch.ReadJournalLines(cfg.Path)
+	if err != nil {
+		t.Fatalf("ReadJournalLines: %v", err)
+	}
+	leases, results := 0, 0
+	for _, line := range lines {
+		var row walRow
+		if json.Unmarshal(line, &row) != nil {
+			continue
+		}
+		switch {
+		case row.Lease != nil:
+			leases++
+		case row.Result != nil:
+			results++
+		}
+	}
+	if leases != 2 || results != 1 {
+		t.Fatalf("WAL: %d leases + %d results, want 2 + 1", leases, results)
+	}
+}
+
+// TestQueueConcurrentDrain hammers a pool of workers over one queue — every
+// candidate completed exactly once, every worker sees the drained signal.
+func TestQueueConcurrentDrain(t *testing.T) {
+	cands := qCands(8)
+	cfg := qConfig(t, t.TempDir(), time.Minute)
+	q, err := OpenQueue(cands, cfg)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	defer q.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 1; w <= 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				l, err := q.Claim(ctx, w)
+				if err != nil {
+					t.Errorf("Claim: %v", err)
+					return
+				}
+				if l == nil {
+					return
+				}
+				if _, err := q.Complete(l, qRow(l.Cand, "failed")); err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rows := q.Done(); len(rows) != len(cands) {
+		t.Fatalf("Done: %d rows, want %d", len(rows), len(cands))
+	}
+	if got := cfg.Metrics.Total("discover.leased"); got != uint64(len(cands)) {
+		t.Fatalf("discover.leased = %d, want %d", got, len(cands))
+	}
+}
+
+// TestQueueClaimBlocksUntilCompletion: with every candidate leased, Claim
+// parks and wakes on a completion rather than spinning or timing out.
+func TestQueueClaimBlocksUntilCompletion(t *testing.T) {
+	cands := qCands(1)
+	q, err := OpenQueue(cands, qConfig(t, t.TempDir(), time.Minute))
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	defer q.Close()
+	ctx := context.Background()
+
+	l, err := q.Claim(ctx, 1)
+	if err != nil || l == nil {
+		t.Fatalf("claim: %v %v", l, err)
+	}
+	got := make(chan *Lease, 1)
+	go func() {
+		l2, err := q.Claim(ctx, 2)
+		if err != nil {
+			t.Errorf("blocked claim: %v", err)
+		}
+		got <- l2
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := q.Complete(l, qRow(l.Cand, "found")); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	select {
+	case l2 := <-got:
+		if l2 != nil {
+			t.Fatalf("blocked claim got a lease on a drained queue: %v", l2.Cand.Key())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Claim never observed the drain")
+	}
+}
+
+// TestQueueClaimHonorsContext: a parked Claim returns when the sweep is
+// told to shut down.
+func TestQueueClaimHonorsContext(t *testing.T) {
+	cands := qCands(1)
+	q, err := OpenQueue(cands, qConfig(t, t.TempDir(), time.Minute))
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	defer q.Close()
+	if _, err := q.Claim(context.Background(), 1); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Claim(ctx, 2)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("parked Claim returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked Claim ignored cancellation")
+	}
+}
+
+// TestQueueResumeToleratesTornTail: a kill mid-append leaves a partial last
+// line; resume drops it and re-runs that candidate.
+func TestQueueResumeToleratesTornTail(t *testing.T) {
+	cands := qCands(2)
+	dir := t.TempDir()
+	cfg := qConfig(t, dir, time.Minute)
+	q, err := OpenQueue(cands, cfg)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	ctx := context.Background()
+	l, err := q.Claim(ctx, 1)
+	if err != nil || l == nil {
+		t.Fatalf("claim: %v %v", l, err)
+	}
+	if _, err := q.Complete(l, qRow(l.Cand, "found")); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	q.Close()
+
+	// The kill tore the next result row mid-write.
+	f, err := os.OpenFile(cfg.Path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"result":{"machine":"QM","instr`)
+	f.Close()
+
+	cfg2 := qConfig(t, dir, time.Minute)
+	cfg2.Resume = true
+	q2, err := OpenQueue(cands, cfg2)
+	if err != nil {
+		t.Fatalf("OpenQueue(resume): %v", err)
+	}
+	defer q2.Close()
+	if q2.Resumed() != 1 {
+		t.Fatalf("Resumed = %d, want 1 (torn row dropped)", q2.Resumed())
+	}
+	if q2.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1", q2.Remaining())
+	}
+	l2, err := q2.Claim(ctx, 1)
+	if err != nil || l2 == nil {
+		t.Fatalf("claim after resume: %v %v", l2, err)
+	}
+	if l2.Cand.Key() != cands[1].Key() {
+		t.Fatalf("resume re-offered %s, want %s", l2.Cand.Key(), cands[1].Key())
+	}
+}
+
+// TestQueueResumeRejectsForeignRows: a WAL whose rows do not belong to this
+// candidate set is a corrupted setup, not something to silently absorb.
+func TestQueueResumeRejectsForeignRows(t *testing.T) {
+	dir := t.TempDir()
+	cfg := qConfig(t, dir, time.Minute)
+	q, err := OpenQueue(qCands(2), cfg)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	l, _ := q.Claim(context.Background(), 1)
+	q.Complete(l, qRow(l.Cand, "found"))
+	q.Close()
+
+	cfg2 := qConfig(t, dir, time.Minute)
+	cfg2.Resume = true
+	// The completed row was for cands[0]; this set only knows cands[1].
+	if _, err := OpenQueue(qCands(2)[1:], cfg2); err == nil {
+		t.Fatal("resume with a mismatched candidate set succeeded")
+	}
+}

@@ -140,12 +140,39 @@ func (e *CircuitError) Error() string {
 	return fmt.Sprintf("fault: circuit open for %s after %d consecutive faults (last: %s)", e.Pair, e.Fails, e.Last)
 }
 
+// PoisonError reports a work item quarantined by a sweep driver: every
+// attempt across the escalating retry ladder ended in a fault (panic,
+// timeout, a non-budget failure), so the item was moved to a dead-letter
+// journal instead of being retried forever — one pathological candidate
+// must not wedge or starve a multi-hour sweep. Last is the final attempt's
+// fault; Classify(Unwrap()) names the underlying class.
+type PoisonError struct {
+	// Key identifies the quarantined item, e.g. "machine|instruction|...".
+	Key string
+	// Attempts is how many times the item was tried before quarantine.
+	Attempts int
+	// Last is the fault of the final attempt.
+	Last error
+}
+
+func (e *PoisonError) Error() string {
+	return fmt.Sprintf("fault: %s quarantined after %d faulting attempts (last: %v)", e.Key, e.Attempts, e.Last)
+}
+
+func (e *PoisonError) Unwrap() error { return e.Last }
+
 // Classify maps an error to a small stable label set for metrics and trace
-// attributes: "ok", "path", "panic", "budget", "corrupt-binding",
+// attributes: "ok", "poison", "path", "panic", "budget", "corrupt-binding",
 // "circuit-open", "timeout", "canceled", or "other".
 func Classify(err error) string {
 	if err == nil {
 		return "ok"
+	}
+	// Poison wraps the final fault of a quarantined item (often a panic or
+	// a deadline), so it must be recognized before the classes it wraps.
+	var poisonErr *PoisonError
+	if errors.As(err, &poisonErr) {
+		return "poison"
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

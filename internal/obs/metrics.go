@@ -218,6 +218,37 @@ func (r *Registry) Set(metric, label string, v int64) {
 	g.Store(v)
 }
 
+// SetMax raises a gauge to v if v exceeds its current value (gauges start
+// at 0) — a high-watermark gauge. Concurrent writers race correctly via
+// CAS: the final value is the maximum ever offered. The discovery sweep
+// publishes its best per-candidate cycle savings this way, so a resumed run
+// that replays journaled rows cannot lower the watermark.
+func (r *Registry) SetMax(metric, label string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	g := r.gauges[key{metric, label}]
+	r.mu.RUnlock()
+	if g == nil {
+		r.mu.Lock()
+		if g = r.gauges[key{metric, label}]; g == nil {
+			g = &atomic.Int64{}
+			r.gauges[key{metric, label}] = g
+		}
+		r.mu.Unlock()
+	}
+	for {
+		cur := g.Load()
+		if v <= cur {
+			return
+		}
+		if g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Gauge reads a gauge value (0 if absent).
 func (r *Registry) Gauge(metric, label string) int64 {
 	if r == nil {
