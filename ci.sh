@@ -17,6 +17,7 @@ go test -race -run 'Chaos' ./internal/fault/inject
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/isps
 go test -run '^FuzzParseStmt$' -fuzz '^FuzzParseStmt$' -fuzztime 10s ./internal/isps
 go test -run '^FuzzBindingJSON$' -fuzz '^FuzzBindingJSON$' -fuzztime 10s ./internal/core
+go test -run '^FuzzSynthGadget$' -fuzz '^FuzzSynthGadget$' -fuzztime 10s ./internal/synth
 
 # Bench stage: the PR 3 tracked benchmarks (the eleven scripted analyses
 # and the auto-search retry ladder), recorded as BENCH_PR3.json (name ->
@@ -157,6 +158,29 @@ sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""
 sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$DISC_DIR/sweep/report.json" > "$DISC_DIR/sweep.norm"
 diff "$DISC_DIR/ref.norm" "$DISC_DIR/sweep.norm"
 rm -rf "$DISC_DIR"
+
+# Synth stage: inverse-mode gadget synthesis over three bindings (one per
+# target) with the full cross-layer divergence sweep. The command itself
+# exits nonzero on any divergence between codegen and the IR reference, any
+# simulator/description disagreement, any corrupt binding document, or any
+# gadget expansion that fails differential verification — so the stage is
+# the bugfix-sweep gate. On top of that: every binding must rank at least 5
+# verified variants, and a re-run with the same seed must be byte-identical
+# modulo durations and trace IDs.
+SYNTH_DIR=$(mktemp -d)
+SYNTH_BINDINGS='Intel 8086/scasb/index,VAX-11/movc3/sassign,IBM 370/mvc/sassign'
+/tmp/extra_ci synth -seed 1 -bindings "$SYNTH_BINDINGS" -json "$SYNTH_DIR/a.json" >"$SYNTH_DIR/a.txt"
+grep -q 'no divergences' "$SYNTH_DIR/a.txt"
+grep '"verified":' "$SYNTH_DIR/a.json" | awk '{ n = $2 + 0; if (n < 5) exit 1 }'
+test "$(grep -c '"key":' "$SYNTH_DIR/a.json")" -eq 3
+/tmp/extra_ci synth -seed 1 -bindings "$SYNTH_BINDINGS" -json "$SYNTH_DIR/b.json" >/dev/null
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$SYNTH_DIR/a.json" > "$SYNTH_DIR/a.norm"
+sed 's/"duration_ms": *[0-9]*/"duration_ms": 0/; s/"trace": *"[^"]*"/"trace": ""/' "$SYNTH_DIR/b.json" > "$SYNTH_DIR/b.norm"
+diff "$SYNTH_DIR/a.norm" "$SYNTH_DIR/b.norm"
+rm -rf "$SYNTH_DIR"
+go test -run '^$' -bench 'BenchmarkSynth$|BenchmarkSweep$' -benchmem -benchtime 5x -count 1 ./internal/synth | go run ./cmd/benchjson -o BENCH_PR10.json
+test -s BENCH_PR10.json
+grep -q 'Synth' BENCH_PR10.json
 
 # Gateway chaos stage: boot the shard gateway over three supervised workers,
 # prove the merged /batch report is byte-identical (modulo durations and

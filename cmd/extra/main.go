@@ -7,6 +7,7 @@
 //	extra fig N               figures 1-5 (transformation demo, descriptions)
 //	extra analyze INS/OP      run one analysis and print the binding
 //	extra trace INS/OP        run one analysis and print every step
+//	extra synth               inverse mode: gadget-expand proven bindings
 //	extra failures            the movc3/sassign and Eclipse failure cases
 //	extra extensions          the beyond-paper analyses (extended mode)
 //	extra xforms [category]   the 75-transformation library
@@ -57,6 +58,7 @@ import (
 	"extra/internal/obs"
 	"extra/internal/proofs"
 	"extra/internal/server"
+	"extra/internal/synth"
 	"extra/internal/transform"
 )
 
@@ -99,9 +101,9 @@ func run(args []string) error {
 	}
 	if traceFile != "" {
 		switch args[0] {
-		case "analyze", "trace", "table2", "serve", "discover":
+		case "analyze", "trace", "table2", "serve", "discover", "synth":
 		default:
-			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2, serve, discover)", args[0])
+			return fmt.Errorf("--trace is not supported by %q (only analyze, trace, table2, serve, discover, synth)", args[0])
 		}
 	}
 	switch args[0] {
@@ -148,6 +150,8 @@ func run(args []string) error {
 		return batchCmd(ctx, args[1:])
 	case "discover":
 		return discoverCmd(ctx, traceFile, args[1:])
+	case "synth":
+		return synthCmd(ctx, traceFile, args[1:])
 	case "serve":
 		return serveCmd(ctx, traceFile, args[1:])
 	case "gateway":
@@ -229,6 +233,19 @@ func usage(w io.Writer) {
                              across runs via the content-addressed cache;
                              -inject-panic INS/OP arms a deterministic
                              poison candidate for chaos drills)
+  extra synth               inverse mode: expand each proven binding's
+                            generated code through semantics-preserving
+                            gadgets, verify every variant by differential
+                            execution on the cycle-costed simulators, rank
+                            by cycles and bytes; also sweeps codegen vs IR
+                            reference, simulators vs corpus descriptions,
+                            and binding-document integrity, exiting nonzero
+                            on any divergence or unsound variant
+                            (-bindings CSV of catalog keys, -gadgets CSV,
+                             -seed N, -depth D stacked applications,
+                             -max-variants N, -trials N, -top N,
+                             -no-sweep skips the cross-layer sweeps;
+                             -json FILE | -jsonl FILE atomic reports)
   extra serve               serve analyses over HTTP+JSON until SIGTERM
                             (-addr HOST:PORT, -queue N, -jobs N,
                              -drain-timeout D, -validate N,
@@ -1139,6 +1156,73 @@ func discoverCmd(ctx context.Context, traceFile string, args []string) error {
 	})
 }
 
+func synthCmd(ctx context.Context, traceFile string, args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "deterministic `seed` for gadget constants and trial data")
+	depth := fs.Int("depth", 2, "maximum stacked gadget applications per variant")
+	maxVariants := fs.Int("max-variants", 48, "variants enumerated per binding")
+	trials := fs.Int("trials", 6, "differential executions per variant (trial 0 is the canonical ranking run)")
+	top := fs.Int("top", 8, "ranked variants reported per binding")
+	maxSteps := fs.Int("max-steps", 200_000, "simulated step bound per execution")
+	bindingsCSV := fs.String("bindings", "", "restrict to these catalog binding `keys` (comma-separated; default all)")
+	gadgetsCSV := fs.String("gadgets", "", "restrict to these `gadgets` (comma-separated; default all)")
+	noSweep := fs.Bool("no-sweep", false, "skip the cross-layer divergence sweeps")
+	jsonOut := fs.String("json", "", "write the report as JSON to `FILE` (atomic)")
+	jsonlOut := fs.String("jsonl", "", "write the report as JSON lines to `FILE` (atomic)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: extra synth [flags]")
+	}
+	gadgets, err := synth.ParseGadgets(*gadgetsCSV)
+	if err != nil {
+		return err
+	}
+	runTrace := obs.NewTraceID()
+	ctx = obs.WithTraceID(ctx, runTrace)
+	fmt.Fprintf(os.Stderr, "synth: run trace %s\n", runTrace)
+	return withTracer(traceFile, func(tr *obs.Tracer) error {
+		rep, err := synth.Run(ctx, synth.Config{
+			Bindings:    splitCSV(*bindingsCSV),
+			Gadgets:     gadgets,
+			Seed:        *seed,
+			Depth:       *depth,
+			MaxVariants: *maxVariants,
+			Trials:      *trials,
+			Top:         *top,
+			MaxSteps:    *maxSteps,
+			Sweep:       !*noSweep,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "synth: report written to %s\n", *jsonOut)
+		}
+		if *jsonlOut != "" {
+			if err := rep.WriteJSONL(*jsonlOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "synth: report written to %s\n", *jsonlOut)
+		}
+		rep.Render(os.Stdout)
+		m := obs.Default()
+		fmt.Fprintf(os.Stderr, "synth: summary bindings=%d variants=%d verified=%d unsound=%d divergences=%d\n",
+			m.Total("synth.binding"), m.Total("synth.variant"),
+			m.Total("synth.variants.verified"), m.Total("synth.unsound"),
+			uint64(len(rep.Divergences)))
+		if rep.Failed() {
+			return fmt.Errorf("synth: %d divergences, %d unsound variants",
+				len(rep.Divergences), rep.Unsound)
+		}
+		return nil
+	})
+}
+
 func splitCSV(s string) []string {
 	if s == "" {
 		return nil
@@ -1346,12 +1430,12 @@ func gatewayCmd(ctx context.Context, args []string) error {
 	}
 	m := obs.Default()
 	g, err := gateway.New(gateway.Config{
-		Addr:          *addr,
-		Workers:       *workers,
-		WorkerCommand: workerCommand,
-		Validate:      *validate,
-		ProbeInterval: *probeInterval,
-		HedgeDefault:  *hedgeDefault,
+		Addr:           *addr,
+		Workers:        *workers,
+		WorkerCommand:  workerCommand,
+		Validate:       *validate,
+		ProbeInterval:  *probeInterval,
+		HedgeDefault:   *hedgeDefault,
 		CrashLoopBurst: *crashLoopBurst,
 		// The fleet drain must outlast each worker's own drain grace.
 		DrainTimeout: *drainTimeout + 5*time.Second,

@@ -58,6 +58,48 @@ func CommonForm(op, ins *isps.Description) (*Match, error) {
 	return m, nil
 }
 
+// Reflexive checks that the matcher accepts d against itself, binding every
+// variable to itself. A failure means d has drifted outside the matcher's
+// accepted language (a node kind the walk cannot compare, a declaration
+// shape it rejects) — a regression the inverse-mode sweep checks for every
+// catalog description, since such a description could never be re-proven.
+// Descriptions that still contain function calls are outside the matcher's
+// precondition (CommonForm requires full inlining), so the check is
+// vacuously satisfied for them.
+func Reflexive(d *isps.Description) error {
+	if !fullyInlined(d) {
+		return nil
+	}
+	m, err := CommonForm(d, d)
+	if err != nil {
+		return err
+	}
+	for v, r := range m.VarMap {
+		if v != r {
+			return fmt.Errorf("equiv: self-match bound %q to %q", v, r)
+		}
+	}
+	return nil
+}
+
+// fullyInlined reports whether no declared function of d is still called —
+// the matcher's precondition.
+func fullyInlined(d *isps.Description) bool {
+	for _, f := range d.Funcs() {
+		called := false
+		isps.Walk(d, func(n isps.Node, _ isps.Path) bool {
+			if c, ok := n.(*isps.Call); ok && c.Name == f.Name {
+				called = true
+			}
+			return !called
+		})
+		if called {
+			return false
+		}
+	}
+	return true
+}
+
 func commonForm(op, ins *isps.Description) (*Match, error) {
 	opR, insR := op.Routine(), ins.Routine()
 	if opR == nil || insR == nil {

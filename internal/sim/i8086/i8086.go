@@ -216,7 +216,13 @@ func arith(m *sim.Machine, in sim.Instr) error {
 	}
 	r = m.Mask(r)
 	m.ZF = r == 0
-	m.LF = m.Mask(a) < m.Mask(b)
+	// LF models the carry/borrow flag the jb/jae branches read. AND always
+	// clears CF on the 8086; only the subtractive forms compute a borrow.
+	if in.Mn == "and" {
+		m.LF = false
+	} else {
+		m.LF = m.Mask(a) < m.Mask(b)
+	}
 	if in.Mn != "cmp" {
 		m.SetReg(in.Ops[0].Reg, r)
 	}

@@ -202,6 +202,64 @@ func TestMovsbAgainstDescription(t *testing.T) {
 	}
 }
 
+// TestAndClearsCarry pins the and/jb interaction the synth gadget tables
+// surfaced: AND always clears the 8086 carry flag, so a jb after and must
+// fall through even when a stale borrow is pending. The simulator used to
+// compute LF = a < b for and like the subtractive forms, which made the
+// decomposed index loop's `and dx, 0xff` leave a phantom borrow.
+func TestAndClearsCarry(t *testing.T) {
+	m := newM(t, []sim.Instr{
+		sim.Ins("mov", sim.R("ax"), sim.I(5)),
+		sim.Ins("cmp", sim.R("ax"), sim.I(9)), // borrow: 5 < 9 sets LF
+		sim.Ins("and", sim.R("ax"), sim.I(0xff)),
+		sim.Ins("jb", sim.L("carry")),
+		sim.Ins("out", sim.I(0)),
+		sim.Ins("hlt"),
+		sim.Lbl("carry"),
+		sim.Ins("out", sim.I(1)),
+		sim.Ins("hlt"),
+	})
+	runM(t, m)
+	if len(m.Out) != 1 || m.Out[0] != 0 {
+		t.Errorf("jb taken after and: out = %v", m.Out)
+	}
+	if m.ZF {
+		t.Error("and of a nonzero result set zf")
+	}
+}
+
+// TestRepCycleBoundaries pins the rep-prefixed instructions' cycle
+// accounting at cx = 0: only the base cost is charged, no iterations run,
+// and repne scasb leaves zf untouched (the pass-through the exotic index
+// binding's prologue augment relies on).
+func TestRepCycleBoundaries(t *testing.T) {
+	for _, c := range []struct {
+		mn   string
+		base uint64
+	}{
+		{"rep_movsb", 9},
+		{"rep_stosb", 9},
+		{"repne_scasb", 9},
+		{"repe_cmpsb", 9},
+	} {
+		m := newM(t, []sim.Instr{
+			sim.Ins("mov", sim.R("cx"), sim.I(0)),
+			sim.Ins("mov", sim.R("si"), sim.I(1)),
+			sim.Ins("cmp", sim.R("si"), sim.I(1)), // zf = 1 before the string op
+			sim.Ins(c.mn),
+			sim.Ins("hlt"),
+		})
+		runM(t, m)
+		// 2 mov-imm (4 each) + cmp-imm (4) + base + hlt (2).
+		if want := uint64(2*4+4) + c.base + 2; m.Cycles != want {
+			t.Errorf("%s with cx=0: %d cycles, want %d", c.mn, m.Cycles, want)
+		}
+		if !m.ZF {
+			t.Errorf("%s with cx=0 clobbered zf", c.mn)
+		}
+	}
+}
+
 func TestCyclesChargedForStringOps(t *testing.T) {
 	m := newM(t, []sim.Instr{
 		sim.Ins("mov", sim.R("si"), sim.I(0)),

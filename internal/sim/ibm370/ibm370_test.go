@@ -157,6 +157,47 @@ func TestClc(t *testing.T) {
 	}
 }
 
+// TestMvcLengthCodeBoundaries pins the SS-format length-minus-one coding at
+// its edges: length code 0 moves exactly one byte (mvc can never move
+// zero), code 255 moves 256, and bits above the 8-bit field are masked off
+// before both the move and the cycle charge — the coding constraint the
+// mvc/sassign proof encodes (compiler loads Len-1).
+func TestMvcLengthCodeBoundaries(t *testing.T) {
+	cases := []struct {
+		lencode uint64
+		moved   uint64
+	}{
+		{0, 1},
+		{1, 2},
+		{255, 256},
+		{0x100, 1}, // masked to length code 0
+	}
+	for _, c := range cases {
+		m := newM(t, []sim.Instr{
+			sim.Ins("la", sim.R("r2"), sim.I(2048)),
+			sim.Ins("la", sim.R("r3"), sim.I(1024)),
+			sim.Ins("mvc", sim.I(c.lencode), sim.M("r2"), sim.M("r3")),
+			sim.Ins("hlt"),
+		})
+		for i := uint64(0); i < 257; i++ {
+			m.StoreByte(1024+i, byte(i+1))
+		}
+		runM(t, m)
+		for i := uint64(0); i < c.moved; i++ {
+			if m.LoadByte(2048+i) != byte(i+1) {
+				t.Fatalf("lencode %#x: byte %d not moved", c.lencode, i)
+			}
+		}
+		if m.LoadByte(2048+c.moved) != 0 {
+			t.Errorf("lencode %#x: moved past %d bytes", c.lencode, c.moved)
+		}
+		// 2 la (1 each) + mvc (5 + n) + hlt (1).
+		if want := 2 + 5 + c.moved + 1; m.Cycles != want {
+			t.Errorf("lencode %#x: %d cycles, want %d", c.lencode, m.Cycles, want)
+		}
+	}
+}
+
 func TestIcStc(t *testing.T) {
 	m := newM(t, []sim.Instr{
 		sim.Ins("la", sim.R("r2"), sim.I(100)),

@@ -135,18 +135,26 @@ func exec(m *sim.Machine, in sim.Instr) error {
 		m.Cycles += 3
 		return nil
 	case "sobgtr":
-		// Subtract one and branch if greater than zero: the VAX loop
-		// closer.
+		// Subtract one and branch if *greater than zero*: the VAX loop
+		// closer. The comparison is signed — decrementing an entry value of
+		// 0 yields -1 (top bit set), which must fall through, not loop for
+		// another 2^32 iterations.
 		v := m.Mask(m.Reg[in.Ops[0].Reg] - 1)
 		m.SetReg(in.Ops[0].Reg, v)
 		m.Cycles += 6
-		if v != 0 {
+		if v != 0 && v&0x8000_0000 == 0 {
 			return m.Jump(in.Ops[1].Label)
 		}
 		return nil
 	case "movc3":
 		// movc3 len, src, dst — with movc3's overlap protection. Leaves
-		// r0 = 0, r1 = src + len, r3 = dst + len, like the hardware.
+		// r0 = 0 and r1/r3 at the corpus description's final pointers: one
+		// past the end after a forward move, but the *original* addresses
+		// after a backward (overlap-protected) move, where the description
+		// walks the pointers up and then back down. Real hardware always
+		// leaves r1/r3 one past the end; the description is this
+		// reproduction's semantic ground truth, so the simulator follows it
+		// and the delta is documented here.
 		ln, err := m.Val(in.Ops[0])
 		if err != nil {
 			return err
@@ -160,18 +168,20 @@ func exec(m *sim.Machine, in sim.Instr) error {
 		if err != nil {
 			return err
 		}
+		r1, r3 := src+ln, dst+ln
 		if src < dst {
 			for i := ln; i > 0; i-- {
 				m.StoreByte(dst+i-1, m.LoadByte(src+i-1))
 			}
+			r1, r3 = src, dst
 		} else {
 			for i := uint64(0); i < ln; i++ {
 				m.StoreByte(dst+i, m.LoadByte(src+i))
 			}
 		}
 		m.SetReg("r0", 0)
-		m.SetReg("r1", src+ln)
-		m.SetReg("r3", dst+ln)
+		m.SetReg("r1", r1)
+		m.SetReg("r3", r3)
 		m.Cycles += 40 + 3*ln
 		return nil
 	case "movc5":
@@ -193,6 +203,14 @@ func exec(m *sim.Machine, in sim.Instr) error {
 			m.StoreByte(dst+moved+filled, byte(fill))
 			filled++
 		}
+		// Result registers, matching the corpus description's final
+		// pointers: r1 one past the last source byte moved, r3 one past the
+		// end of the destination; r0 counts the source bytes that did not
+		// fit. The register-preference pass already treats r0/r1/r3 as
+		// movc5 clobbers — before this they were clobbered in name only.
+		m.SetReg("r0", srclen-moved)
+		m.SetReg("r1", src+moved)
+		m.SetReg("r3", dst+dstlen)
 		m.Cycles += 50 + 3*moved + 2*filled
 		return nil
 	case "locc":

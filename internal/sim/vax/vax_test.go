@@ -57,6 +57,39 @@ func TestSobgtr(t *testing.T) {
 	}
 }
 
+// TestSobgtrBoundary pins the signed branch condition at the values where
+// "decrement and branch if greater than zero" differs from "branch if
+// nonzero": entering with 0 decrements to -1 (top bit set) and must fall
+// through, as must 0x80000001 -> 0x80000000. The synth differential
+// harness surfaced the unsigned version looping for another 2^32
+// iterations from an entry value of 0.
+func TestSobgtrBoundary(t *testing.T) {
+	cases := []struct {
+		entry uint64
+		loops uint64 // times the body runs
+	}{
+		{2, 2},
+		{1, 1},
+		{0, 1},          // decrements to -1: fall through after one body run
+		{0x80000001, 1}, // decrements to INT32_MIN: not > 0
+	}
+	for _, c := range cases {
+		m := newM(t, []sim.Instr{
+			sim.Ins("movl", sim.R("r0"), sim.I(c.entry)),
+			sim.Ins("movl", sim.R("r1"), sim.I(0)),
+			sim.Lbl("top"),
+			sim.Ins("incl", sim.R("r1")),
+			sim.Ins("sobgtr", sim.R("r0"), sim.L("top")),
+			sim.Ins("out", sim.R("r1")),
+			sim.Ins("hlt"),
+		})
+		runM(t, m)
+		if m.Out[0] != c.loops {
+			t.Errorf("entry %#x: body ran %d times, want %d", c.entry, m.Out[0], c.loops)
+		}
+	}
+}
+
 // TestMovc3OverlapAgainstDescription cross-validates the simulator's movc3
 // (including its overlap protection) with the corpus description.
 func TestMovc3OverlapAgainstDescription(t *testing.T) {
@@ -80,7 +113,8 @@ func TestMovc3OverlapAgainstDescription(t *testing.T) {
 		for i, b := range content {
 			st.Mem[uint64(96+i)] = b
 		}
-		if _, err := interp.Run(desc, []uint64{uint64(n), src, dst}, st, 0); err != nil {
+		res, err := interp.Run(desc, []uint64{uint64(n), src, dst}, st, 0)
+		if err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 32; i++ {
@@ -88,6 +122,13 @@ func TestMovc3OverlapAgainstDescription(t *testing.T) {
 			if m.LoadByte(a) != st.Mem[a] {
 				t.Fatalf("round %d (n=%d src=%d dst=%d): byte %d differs", round, n, src, dst, a)
 			}
+		}
+		// The result registers must track the description's final pointers
+		// too — comparing memory alone is exactly how the backward-case
+		// register divergence survived until the synth sweep.
+		if m.Reg["r0"] != 0 || m.Reg["r1"] != res.Outputs[0] || m.Reg["r3"] != res.Outputs[1] {
+			t.Fatalf("round %d (n=%d src=%d dst=%d): sim (r0=%d r1=%d r3=%d) vs description (src=%d dst=%d)",
+				round, n, src, dst, m.Reg["r0"], m.Reg["r1"], m.Reg["r3"], res.Outputs[0], res.Outputs[1])
 		}
 	}
 }
@@ -185,14 +226,58 @@ func TestMovc5AgainstDescription(t *testing.T) {
 		runM(t, m)
 		st := interp.NewState()
 		st.SetString(src, string(content))
-		if _, err := interp.Run(desc,
-			[]uint64{uint64(srclen), src, uint64(fill), uint64(dstlen), dst}, st, 0); err != nil {
+		res, err := interp.Run(desc,
+			[]uint64{uint64(srclen), src, uint64(fill), uint64(dstlen), dst}, st, 0)
+		if err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < dstlen; i++ {
 			if m.LoadByte(dst+uint64(i)) != st.Mem[dst+uint64(i)] {
 				t.Fatalf("round %d: dst byte %d differs", round, i)
 			}
+		}
+		// Register results: the description's final source/destination
+		// pointers, plus r0 = source bytes that did not fit. The simulator
+		// used to leave all three untouched despite declaring them as
+		// clobbers to the register-preference pass.
+		moved := srclen
+		if dstlen < srclen {
+			moved = dstlen
+		}
+		if m.Reg["r0"] != uint64(srclen-moved) || m.Reg["r1"] != res.Outputs[0] || m.Reg["r3"] != res.Outputs[1] {
+			t.Fatalf("round %d (srclen=%d dstlen=%d): sim (r0=%d r1=%d r3=%d) vs description (src=%d dst=%d)",
+				round, srclen, dstlen, m.Reg["r0"], m.Reg["r1"], m.Reg["r3"], res.Outputs[0], res.Outputs[1])
+		}
+	}
+}
+
+// TestStringOpCycleBoundaries pins the string instructions' cycle accounting
+// at the operand-width edges: length 0 charges only the setup cost, and a
+// length with bits above the hardware's 16-bit field is masked before both
+// the move and the charge.
+func TestStringOpCycleBoundaries(t *testing.T) {
+	cycles := func(in sim.Instr) uint64 {
+		t.Helper()
+		m := newM(t, []sim.Instr{in, sim.Ins("hlt")})
+		runM(t, m)
+		return m.Cycles - 1 // hlt charges 1
+	}
+	cases := []struct {
+		name string
+		in   sim.Instr
+		want uint64
+	}{
+		{"movc3 len 0", sim.Ins("movc3", sim.I(0), sim.I(100), sim.I(300)), 40},
+		{"movc3 len 1", sim.Ins("movc3", sim.I(1), sim.I(100), sim.I(300)), 43},
+		{"movc3 len masked to 1", sim.Ins("movc3", sim.I(0x10001), sim.I(100), sim.I(300)), 43},
+		{"movc5 all zero", sim.Ins("movc5", sim.I(0), sim.I(100), sim.I(0), sim.I(0), sim.I(300)), 50},
+		{"movc5 fill only", sim.Ins("movc5", sim.I(0), sim.I(100), sim.I(0), sim.I(4), sim.I(300)), 50 + 2*4},
+		{"locc len 0", sim.Ins("locc", sim.I('x'), sim.I(0), sim.I(100)), 30},
+		{"cmpc3 len 0", sim.Ins("cmpc3", sim.I(0), sim.I(100), sim.I(300)), 30},
+	}
+	for _, c := range cases {
+		if got := cycles(c.in); got != c.want {
+			t.Errorf("%s: %d cycles, want %d", c.name, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,47 @@
+package synth
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzSynthGadget fuzzes the soundness invariant end to end: any gadget
+// mask applied to any catalog binding at any seed and depth must produce
+// only variants that pass differential verification — gadget expansion
+// preserves observable equivalence by construction, so a single unsound
+// variant is a gadget bug. Inputs found by the fuzzer that violate this
+// belong in testdata/fuzz as regression seeds.
+func FuzzSynthGadget(f *testing.F) {
+	for i := range Catalog {
+		f.Add(uint64(1), uint8(i), uint8(i%len(AllGadgets)), uint8(1))
+	}
+	f.Add(uint64(0xdeadbeef), uint8(5), uint8(0xff), uint8(2)) // all gadgets, depth 2
+	f.Add(uint64(7), uint8(8), uint8(0x1f), uint8(2))          // 370 move, everything
+	f.Fuzz(func(t *testing.T, seed uint64, bindingIdx, gadgetBits, depth uint8) {
+		b := &Catalog[int(bindingIdx)%len(Catalog)]
+		mask := Gadget(gadgetBits) & (ArithmeticPartitioning | LogicalInverse |
+			LogicalPartitioning | OffsetMutation | RegisterSwap)
+		if mask == 0 {
+			mask = AllGadgets[int(gadgetBits)%len(AllGadgets)]
+		}
+		cfg := Config{
+			Bindings:    []string{b.Key},
+			Gadgets:     mask,
+			Seed:        seed,
+			Depth:       1 + int(depth)%2,
+			MaxVariants: 10,
+			Trials:      3,
+		}
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := rep.Bindings[0]
+		if br.Error != "" {
+			t.Fatalf("%s (gadgets %v seed %d): %s", b.Key, mask.Names(), seed, br.Error)
+		}
+		for _, u := range br.Unsound {
+			t.Errorf("UNSOUND %s (seed %d): %s", b.Key, seed, u)
+		}
+	})
+}

@@ -1,0 +1,740 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extra/internal/sim"
+)
+
+// Gadget identifies one expansion rule, following the deoptimizer's
+// taxonomy: each gadget rewrites a generated sequence into a longer one
+// with identical observable behavior (final memory and output stream).
+type Gadget uint32
+
+const (
+	// ArithmeticPartitioning splits a constant load into a load of a
+	// detuned constant plus a correcting arithmetic step
+	// (mov r,#x  =>  mov r,#x+k; sub r,#k — or la r,#x-k; la r,k(r) on
+	// the 370, whose load-address is flag-neutral).
+	ArithmeticPartitioning Gadget = 1 << iota
+	// LogicalInverse replaces a conditional branch with its inverse
+	// branching around an unconditional jump.
+	LogicalInverse
+	// LogicalPartitioning splits an and-mask into two masks whose
+	// conjunction is the original (and r,#m => and r,#m1; and r,#m2).
+	LogicalPartitioning
+	// OffsetMutation detunes an address-constant load and compensates in
+	// the displacement of every memory use it reaches
+	// (mov r,#a; ... [r] ...  =>  mov r,#a-k; ... k[r] ...).
+	OffsetMutation
+	// RegisterSwap renames a register to an unused one program-wide.
+	RegisterSwap
+)
+
+// AllGadgets is every gadget, in deterministic enumeration order.
+var AllGadgets = []Gadget{
+	ArithmeticPartitioning, LogicalInverse, LogicalPartitioning,
+	OffsetMutation, RegisterSwap,
+}
+
+func (g Gadget) String() string {
+	switch g {
+	case ArithmeticPartitioning:
+		return "arith-partition"
+	case LogicalInverse:
+		return "logical-inverse"
+	case LogicalPartitioning:
+		return "logical-partition"
+	case OffsetMutation:
+		return "offset-mutation"
+	case RegisterSwap:
+		return "register-swap"
+	}
+	return fmt.Sprintf("gadget(%#x)", uint32(g))
+}
+
+// ParseGadgets turns a comma-separated list of gadget names into a mask.
+// An empty string selects every gadget.
+func ParseGadgets(csv string) (Gadget, error) {
+	if csv == "" {
+		var all Gadget
+		for _, g := range AllGadgets {
+			all |= g
+		}
+		return all, nil
+	}
+	var mask Gadget
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		found := false
+		for _, g := range AllGadgets {
+			if g.String() == f {
+				mask |= g
+				found = true
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("synth: unknown gadget %q (have arith-partition, logical-inverse, logical-partition, offset-mutation, register-swap)", f)
+		}
+	}
+	return mask, nil
+}
+
+// Names expands a gadget mask to sorted names.
+func (g Gadget) Names() []string {
+	var out []string
+	for _, one := range AllGadgets {
+		if g&one != 0 {
+			out = append(out, one.String())
+		}
+	}
+	return out
+}
+
+// flags is a ZF/LF bitset for the liveness analysis.
+type flags uint8
+
+const (
+	fZ flags = 1 << iota
+	fL
+)
+
+// isaInfo carries the per-target tables the gadgets consult: which
+// mnemonics read or deterministically overwrite the condition flags, which
+// registers an instruction uses without naming them, and the register pool
+// a swap may draw from.
+type isaInfo struct {
+	width    uint64 // register width in bits
+	jmp      string // unconditional branch mnemonic
+	loadImm  string // register <- immediate mnemonic
+	partSub  string // correcting subtract for arithmetic partitioning ("" = use loadImm displacement form)
+	andMn    string // register-and-immediate mnemonic ("" = none emitted)
+	andLF    bool   // the and mnemonic writes a data-dependent LF (needs LF dead)
+	inverse  map[string]string
+	reads    map[string]flags
+	kills    map[string]flags
+	implicit map[string][]string
+	// writesReg reports the registers an instruction overwrites without
+	// reading (beyond implicit); used to close offset-mutation windows.
+	pool []string
+}
+
+var isaTables = map[string]*isaInfo{
+	"i8086": {
+		width:   16,
+		jmp:     "jmp",
+		loadImm: "mov",
+		partSub: "sub",
+		andMn:   "and",
+		andLF:   false, // AND clears the 8086 carry flag
+		inverse: map[string]string{"jz": "jnz", "jnz": "jz", "jb": "jae", "jae": "jb"},
+		reads: map[string]flags{
+			"jz": fZ, "jnz": fZ, "jb": fL, "jae": fL,
+			// The rep-compare forms leave zf untouched when cx = 0, so the
+			// incoming value can pass through: a read, and not a kill.
+			"repne_scasb": fZ, "repe_cmpsb": fZ,
+		},
+		kills: map[string]flags{
+			"add": fZ | fL, "sub": fZ | fL, "cmp": fZ | fL, "and": fZ | fL,
+			"inc": fZ, "dec": fZ,
+		},
+		implicit: map[string][]string{
+			"rep_movsb":   {"si", "di", "cx"},
+			"rep_stosb":   {"di", "cx", "al"},
+			"repne_scasb": {"di", "cx", "al"},
+			"repe_cmpsb":  {"si", "di", "cx"},
+			"xlat":        {"bx", "al"},
+			"loop":        {"cx"},
+		},
+		pool: []string{"ax", "bx", "cx", "dx", "si", "di", "bp"},
+	},
+	"vax": {
+		width:   32,
+		jmp:     "brb",
+		loadImm: "movl",
+		partSub: "subl",
+		andMn:   "andl",
+		andLF:   true, // andl keeps the uniform borrow-style LF
+		inverse: map[string]string{"beql": "bneq", "bneq": "beql", "blss": "bgeq", "bgeq": "blss"},
+		reads: map[string]flags{
+			"beql": fZ, "bneq": fZ, "blss": fL, "bgeq": fL,
+		},
+		kills: map[string]flags{
+			"addl": fZ | fL, "subl": fZ | fL, "cmpl": fZ | fL, "andl": fZ | fL,
+			"tstl": fZ | fL, "incl": fZ, "decl": fZ,
+			"locc": fZ, "cmpc3": fZ,
+		},
+		implicit: map[string][]string{
+			"movc3": {"r0", "r1", "r3"},
+			"movc5": {"r0", "r1", "r3"},
+			"cmpc3": {"r0", "r1", "r3"},
+			"locc":  {"r0", "r1"},
+		},
+		pool: []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"},
+	},
+	"ibm370": {
+		width:   32,
+		jmp:     "b",
+		loadImm: "la",
+		partSub: "", // la r,k(r) is the flag-neutral correcting step
+		andMn:   "",
+		inverse: map[string]string{"be": "bne", "bne": "be", "bl": "bnl", "bnl": "bl"},
+		reads: map[string]flags{
+			"be": fZ, "bne": fZ, "bl": fL, "bnl": fL,
+		},
+		kills: map[string]flags{
+			"ar": fZ | fL, "sr": fZ | fL, "cr": fZ | fL, "nr": fZ | fL,
+			// clc always writes zf but only writes lf on a mismatch — zf is
+			// a kill, lf is not.
+			"clc": fZ,
+		},
+		implicit: map[string][]string{},
+		pool: []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8",
+			"r9", "r10", "r11", "r12", "r13", "r14", "r15"},
+	},
+}
+
+func info(target string) (*isaInfo, error) {
+	t, ok := isaTables[target]
+	if !ok {
+		return nil, fmt.Errorf("synth: no gadget tables for target %q", target)
+	}
+	return t, nil
+}
+
+// branchTarget returns the label a mnemonic may transfer to, and whether
+// execution can also fall through.
+func branchTarget(t *isaInfo, in sim.Instr) (label string, conditional bool, branches bool) {
+	switch in.Mn {
+	case t.jmp:
+		return in.Ops[0].Label, false, true
+	case "sobgtr", "bct", "loop":
+		return in.Ops[1%len(in.Ops)].Label, true, true
+	}
+	if _, ok := t.inverse[in.Mn]; ok {
+		return in.Ops[0].Label, true, true
+	}
+	return "", false, false
+}
+
+// flagLiveOut computes, for every instruction boundary, which condition
+// flags may still be read before being overwritten — a backward dataflow
+// fixpoint over the control-flow graph. Gadgets that introduce flag writes
+// (the partitioning pairs) are only applicable where both flags are dead.
+// Unknown mnemonics are treated as reading everything, which can only
+// reject sites, never admit an unsound one.
+func flagLiveOut(t *isaInfo, code []sim.Instr) []flags {
+	labels := map[string]int{}
+	for i, in := range code {
+		if in.Label != "" {
+			labels[in.Label] = i
+		}
+	}
+	succs := make([][]int, len(code))
+	gen := make([]flags, len(code))
+	kill := make([]flags, len(code))
+	for i, in := range code {
+		if in.Mn == "hlt" {
+			continue // no successors
+		}
+		label, cond, branches := branchTarget(t, in)
+		if branches {
+			if n, ok := labels[label]; ok {
+				succs[i] = append(succs[i], n)
+			}
+			if !cond {
+				gen[i] = t.reads[in.Mn]
+				continue
+			}
+		}
+		if i+1 < len(code) {
+			succs[i] = append(succs[i], i+1)
+		}
+		if r, ok := t.reads[in.Mn]; ok {
+			gen[i] = r
+		} else if _, known := t.kills[in.Mn]; !known && !branches && !knownNeutral(in.Mn) {
+			gen[i] = fZ | fL // unknown instruction: assume it reads flags
+		}
+		kill[i] = t.kills[in.Mn]
+	}
+	liveIn := make([]flags, len(code))
+	liveOut := make([]flags, len(code))
+	for changed := true; changed; {
+		changed = false
+		for i := len(code) - 1; i >= 0; i-- {
+			var out flags
+			for _, s := range succs[i] {
+				out |= liveIn[s]
+			}
+			in := gen[i] | (out &^ kill[i])
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+	return liveOut
+}
+
+// knownNeutral lists the mnemonics that neither read nor write the
+// condition flags on any of the three targets.
+func knownNeutral(mn string) bool {
+	switch mn {
+	case "nop", "hlt", "out", "mov", "movw", "movl", "movb", "xlat",
+		"cld", "std", "la", "lr", "l", "st", "ic", "stc", "mvi",
+		"mvc", "tr", "movc3", "movc5", "sobgtr", "bct", "loop",
+		"rep_movsb", "rep_stosb":
+		return true
+	}
+	return false
+}
+
+// writesOnly reports the explicit destination register an instruction
+// overwrites without reading it, or "" — used to close offset-mutation
+// windows at a pure redefinition.
+func writesOnly(in sim.Instr) string {
+	switch in.Mn {
+	case "mov", "movw", "movl", "movb", "la", "lr", "l", "ic":
+		if len(in.Ops) == 2 && in.Ops[0].Kind == sim.KReg &&
+			!(in.Ops[1].Kind == sim.KReg && in.Ops[1].Reg == in.Ops[0].Reg) &&
+			!(in.Ops[1].Kind == sim.KMem && in.Ops[1].Reg == in.Ops[0].Reg) {
+			return in.Ops[0].Reg
+		}
+	}
+	return ""
+}
+
+// Site is one applicable gadget occurrence with its deterministic
+// parameters resolved. Apply(code, site) yields the expanded sequence.
+type Site struct {
+	Gadget Gadget
+	// Index is the instruction the gadget anchors on.
+	Index int
+	// K is the partition constant or displacement delta.
+	K uint64
+	// Mask2 is logical partitioning's second mask (the first is m|K).
+	Mask2 uint64
+	// From/To are register swap's rename pair.
+	From, To string
+	// End is offset mutation's exclusive window end.
+	End int
+	// Label is logical inverse's fresh skip label.
+	Label string
+}
+
+// Desc renders a site for report trails.
+func (s Site) Desc() string {
+	switch s.Gadget {
+	case ArithmeticPartitioning:
+		return fmt.Sprintf("%s@%d k=%d", s.Gadget, s.Index, s.K)
+	case LogicalInverse:
+		return fmt.Sprintf("%s@%d", s.Gadget, s.Index)
+	case LogicalPartitioning:
+		return fmt.Sprintf("%s@%d m1|=%#x", s.Gadget, s.Index, s.K)
+	case OffsetMutation:
+		return fmt.Sprintf("%s@%d..%d k=%d", s.Gadget, s.Index, s.End, s.K)
+	case RegisterSwap:
+		return fmt.Sprintf("%s %s->%s", s.Gadget, s.From, s.To)
+	}
+	return s.Gadget.String()
+}
+
+// splitmix64 is the deterministic parameter source: every site's constants
+// derive from the run seed and the site's position, so the same seed
+// enumerates byte-identical variants.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sites enumerates every applicable occurrence of the selected gadgets in
+// code, with parameters derived from seed. The order is deterministic:
+// gadgets in AllGadgets order, occurrences in instruction order.
+func Sites(target string, code []sim.Instr, mask Gadget, seed uint64) ([]Site, error) {
+	t, err := info(target)
+	if err != nil {
+		return nil, err
+	}
+	liveOut := flagLiveOut(t, code)
+	var out []Site
+	for _, g := range AllGadgets {
+		if mask&g == 0 {
+			continue
+		}
+		switch g {
+		case ArithmeticPartitioning:
+			for i, in := range code {
+				if in.Mn != t.loadImm || len(in.Ops) != 2 ||
+					in.Ops[0].Kind != sim.KReg || in.Ops[1].Kind != sim.KImm {
+					continue
+				}
+				x := in.Ops[1].Imm
+				var k uint64
+				if t.partSub == "" {
+					// Displacement form: la r,#x-k; la r,k(r). The
+					// effective-address adder works modulo the 64K address
+					// space, so the constant must be an address-sized value
+					// and k must not underflow it.
+					if x == 0 || x >= sim.MemSize {
+						continue
+					}
+					k = 1 + splitmix64(seed^uint64(i))%min64(x, 4095)
+				} else {
+					// Subtract form: wrap-safe for any constant, but the
+					// flag writes require both flags dead here.
+					if liveOut[i] != 0 {
+						continue
+					}
+					k = 1 + splitmix64(seed^uint64(i))%255
+				}
+				out = append(out, Site{Gadget: g, Index: i, K: k})
+			}
+		case LogicalInverse:
+			for i, in := range code {
+				if _, ok := t.inverse[in.Mn]; ok {
+					out = append(out, Site{Gadget: g, Index: i, Label: freshLabel(code, i)})
+				}
+			}
+		case LogicalPartitioning:
+			if t.andMn == "" {
+				continue
+			}
+			for i, in := range code {
+				if in.Mn != t.andMn || len(in.Ops) != 2 ||
+					in.Ops[0].Kind != sim.KReg || in.Ops[1].Kind != sim.KImm {
+					continue
+				}
+				// The pair's final zf matches the original's; lf matches
+				// only where the and clears it (i8086) or is dead.
+				if t.andLF && liveOut[i]&fL != 0 {
+					continue
+				}
+				m := in.Ops[1].Imm
+				wmask := uint64(1)<<t.width - 1
+				e := splitmix64(seed^uint64(i)^0xa5a5) & wmask
+				m1 := (m | e) & wmask
+				m2 := (m | (^e & wmask)) & wmask
+				out = append(out, Site{Gadget: g, Index: i, K: m1, Mask2: m2})
+			}
+		case OffsetMutation:
+			for i := range code {
+				if end, ok := offsetWindow(t, code, i); ok {
+					k := 1 + splitmix64(seed^uint64(i)^0x0f0f)%63
+					out = append(out, Site{Gadget: g, Index: i, End: end, K: k})
+				}
+			}
+		case RegisterSwap:
+			sites := swapSites(t, code)
+			out = append(out, sites...)
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// freshLabel mints a label not present in code, stable for a given anchor.
+func freshLabel(code []sim.Instr, i int) string {
+	used := map[string]bool{}
+	for _, in := range code {
+		if in.Label != "" {
+			used[in.Label] = true
+		}
+	}
+	for n := 0; ; n++ {
+		l := fmt.Sprintf("G%d_%d", i, n)
+		if !used[l] {
+			return l
+		}
+	}
+}
+
+// offsetWindow decides whether the constant load at i can be detuned: every
+// reachable use of the register until its redefinition (or the end of the
+// program) must be as a memory base, with no intervening label, branch, or
+// implicit use — any of those could carry the detuned value somewhere the
+// compensation does not reach.
+func offsetWindow(t *isaInfo, code []sim.Instr, i int) (end int, ok bool) {
+	in := code[i]
+	if in.Mn != t.loadImm || len(in.Ops) != 2 ||
+		in.Ops[0].Kind != sim.KReg || in.Ops[1].Kind != sim.KImm {
+		return 0, false
+	}
+	r := in.Ops[0].Reg
+	uses := 0
+	for j := i + 1; j < len(code); j++ {
+		cur := code[j]
+		if cur.Label != "" {
+			return 0, false // a join point: another path sees the raw value
+		}
+		if cur.Mn == "hlt" {
+			return j, uses > 0
+		}
+		if _, _, branches := branchTarget(t, cur); branches {
+			return 0, false
+		}
+		for _, reg := range t.implicit[cur.Mn] {
+			if reg == r {
+				return 0, false
+			}
+		}
+		if w := writesOnly(cur); w == r {
+			return j, uses > 0 // clean redefinition closes the window
+		}
+		for oi, o := range cur.Ops {
+			switch o.Kind {
+			case sim.KReg:
+				if o.Reg == r {
+					return 0, false // read (or read-modify-write) as a value
+				}
+			case sim.KMem:
+				if o.Reg == r {
+					_ = oi
+					uses++
+				}
+			}
+		}
+	}
+	return len(code), uses > 0
+}
+
+// swapSites enumerates register renames: every explicitly used register
+// that no present instruction uses implicitly, renamed to the first pool
+// register that is neither used nor implicitly touched.
+func swapSites(t *isaInfo, code []sim.Instr) []Site {
+	used := map[string]bool{}
+	implicit := map[string]bool{}
+	for _, in := range code {
+		for _, o := range in.Ops {
+			if o.Kind == sim.KReg || o.Kind == sim.KMem {
+				if o.Reg != "" {
+					used[o.Reg] = true
+				}
+			}
+		}
+		for _, r := range t.implicit[in.Mn] {
+			implicit[r] = true
+		}
+	}
+	to := ""
+	for _, r := range t.pool {
+		if !used[r] && !implicit[r] {
+			to = r
+			break
+		}
+	}
+	if to == "" {
+		return nil
+	}
+	var froms []string
+	for r := range used {
+		if !implicit[r] && r != "al" { // al has byte-register semantics
+			froms = append(froms, r)
+		}
+	}
+	sort.Strings(froms)
+	out := make([]Site, 0, len(froms))
+	for _, f := range froms {
+		out = append(out, Site{Gadget: RegisterSwap, From: f, To: to})
+	}
+	return out
+}
+
+// Apply expands one gadget site, returning a new instruction slice (the
+// input is never mutated).
+func Apply(target string, code []sim.Instr, s Site) ([]sim.Instr, error) {
+	t, err := info(target)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Gadget {
+	case ArithmeticPartitioning:
+		in := code[s.Index]
+		r, x := in.Ops[0].Reg, in.Ops[1].Imm
+		wmask := uint64(1)<<t.width - 1
+		var rep []sim.Instr
+		if t.partSub == "" {
+			rep = []sim.Instr{
+				{Label: in.Label, Mn: t.loadImm, Ops: []sim.Operand{sim.R(r), sim.I(x - s.K)}},
+				sim.Ins(t.loadImm, sim.R(r), sim.MD(r, int64(s.K))),
+			}
+		} else {
+			rep = []sim.Instr{
+				{Label: in.Label, Mn: t.loadImm, Ops: []sim.Operand{sim.R(r), sim.I((x + s.K) & wmask)}},
+				sim.Ins(t.partSub, sim.R(r), sim.I(s.K)),
+			}
+		}
+		return splice(code, s.Index, 1, rep), nil
+	case LogicalInverse:
+		in := code[s.Index]
+		inv := t.inverse[in.Mn]
+		rep := []sim.Instr{
+			{Label: in.Label, Mn: inv, Ops: []sim.Operand{sim.L(s.Label)}},
+			sim.Ins(t.jmp, sim.L(in.Ops[0].Label)),
+			sim.Lbl(s.Label),
+		}
+		return splice(code, s.Index, 1, rep), nil
+	case LogicalPartitioning:
+		in := code[s.Index]
+		r := in.Ops[0].Reg
+		rep := []sim.Instr{
+			{Label: in.Label, Mn: t.andMn, Ops: []sim.Operand{sim.R(r), sim.I(s.K)}},
+			sim.Ins(t.andMn, sim.R(r), sim.I(s.Mask2)),
+		}
+		return splice(code, s.Index, 1, rep), nil
+	case OffsetMutation:
+		out := append([]sim.Instr(nil), code...)
+		in := out[s.Index]
+		ops := append([]sim.Operand(nil), in.Ops...)
+		ops[1] = sim.I(ops[1].Imm - s.K)
+		out[s.Index] = sim.Instr{Label: in.Label, Mn: in.Mn, Ops: ops}
+		r := in.Ops[0].Reg
+		for j := s.Index + 1; j < s.End; j++ {
+			cur := out[j]
+			patched := false
+			nops := append([]sim.Operand(nil), cur.Ops...)
+			for oi, o := range nops {
+				if o.Kind == sim.KMem && o.Reg == r {
+					nops[oi] = sim.MD(r, o.Disp+int64(s.K))
+					patched = true
+				}
+			}
+			if patched {
+				out[j] = sim.Instr{Label: cur.Label, Mn: cur.Mn, Ops: nops}
+			}
+		}
+		return out, nil
+	case RegisterSwap:
+		out := make([]sim.Instr, len(code))
+		for i, in := range code {
+			nops := append([]sim.Operand(nil), in.Ops...)
+			for oi, o := range nops {
+				if (o.Kind == sim.KReg || o.Kind == sim.KMem) && o.Reg == s.From {
+					o.Reg = s.To
+					nops[oi] = o
+				}
+			}
+			out[i] = sim.Instr{Label: in.Label, Mn: in.Mn, Ops: nops}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("synth: unknown gadget %v", s.Gadget)
+}
+
+// Inverse returns a site that undoes s when applied to Apply's result, for
+// the gadgets whose expansion is its own inverse shape (offset mutation
+// re-applies with the negated delta; register swap renames back). The
+// partitioning and branch gadgets are undone by Simplify instead.
+func Inverse(s Site) (Site, bool) {
+	switch s.Gadget {
+	case OffsetMutation:
+		inv := s
+		inv.K = -s.K
+		inv.End = s.End // the window length is unchanged
+		return inv, true
+	case RegisterSwap:
+		return Site{Gadget: RegisterSwap, From: s.To, To: s.From}, true
+	}
+	return Site{}, false
+}
+
+// Simplify performs the gadget-inverse peephole rewrites until none apply:
+// constant loads re-absorb their correcting arithmetic, split masks
+// re-merge, and inverted branches collapse. Applying a partitioning or
+// inverse gadget and then simplifying recovers the original sequence — the
+// round-trip property the tests pin.
+func Simplify(target string, code []sim.Instr) ([]sim.Instr, error) {
+	t, err := info(target)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]sim.Instr(nil), code...)
+	wmask := uint64(1)<<t.width - 1
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(out); i++ {
+			a, b := out[i], out[i+1]
+			// mov r,#x'; sub r,#k  =>  mov r,#x'-k
+			if t.partSub != "" && a.Mn == t.loadImm && b.Mn == t.partSub &&
+				len(a.Ops) == 2 && len(b.Ops) == 2 && b.Label == "" &&
+				a.Ops[0].Kind == sim.KReg && a.Ops[1].Kind == sim.KImm &&
+				b.Ops[0].Kind == sim.KReg && b.Ops[0].Reg == a.Ops[0].Reg &&
+				b.Ops[1].Kind == sim.KImm {
+				out[i] = sim.Instr{Label: a.Label, Mn: t.loadImm,
+					Ops: []sim.Operand{a.Ops[0], sim.I((a.Ops[1].Imm - b.Ops[1].Imm) & wmask)}}
+				out = splice(out, i+1, 1, nil)
+				changed = true
+				break
+			}
+			// la r,#x-k; la r,k(r)  =>  la r,#x
+			if t.partSub == "" && a.Mn == t.loadImm && b.Mn == t.loadImm &&
+				len(a.Ops) == 2 && len(b.Ops) == 2 && b.Label == "" &&
+				a.Ops[0].Kind == sim.KReg && a.Ops[1].Kind == sim.KImm &&
+				b.Ops[0].Kind == sim.KReg && b.Ops[0].Reg == a.Ops[0].Reg &&
+				b.Ops[1].Kind == sim.KMem && b.Ops[1].Reg == a.Ops[0].Reg {
+				out[i] = sim.Instr{Label: a.Label, Mn: t.loadImm,
+					Ops: []sim.Operand{a.Ops[0], sim.I((a.Ops[1].Imm + uint64(b.Ops[1].Disp)) & wmask)}}
+				out = splice(out, i+1, 1, nil)
+				changed = true
+				break
+			}
+			// and r,#m1; and r,#m2  =>  and r,#m1&m2
+			if t.andMn != "" && a.Mn == t.andMn && b.Mn == t.andMn &&
+				len(a.Ops) == 2 && len(b.Ops) == 2 && b.Label == "" &&
+				a.Ops[0].Kind == sim.KReg && a.Ops[1].Kind == sim.KImm &&
+				b.Ops[0].Kind == sim.KReg && b.Ops[0].Reg == a.Ops[0].Reg &&
+				b.Ops[1].Kind == sim.KImm {
+				out[i] = sim.Instr{Label: a.Label, Mn: t.andMn,
+					Ops: []sim.Operand{a.Ops[0], sim.I(a.Ops[1].Imm & b.Ops[1].Imm)}}
+				out = splice(out, i+1, 1, nil)
+				changed = true
+				break
+			}
+			// jNcc S; jmp L; S:  =>  jcc L (when S is only used here)
+			if i+2 < len(out) {
+				c := out[i+2]
+				inv, ok := t.inverse[a.Mn]
+				if ok && b.Mn == t.jmp && b.Label == "" &&
+					c.Mn == "nop" && c.Label != "" && c.Label == a.Ops[0].Label &&
+					labelRefs(out, c.Label) == 1 {
+					out[i] = sim.Instr{Label: a.Label, Mn: inv, Ops: []sim.Operand{b.Ops[0]}}
+					out = splice(out, i+1, 2, nil)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// labelRefs counts branch references to a label.
+func labelRefs(code []sim.Instr, label string) int {
+	n := 0
+	for _, in := range code {
+		for _, o := range in.Ops {
+			if o.Kind == sim.KLabel && o.Label == label {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// splice returns code with code[i:i+del] replaced by rep.
+func splice(code []sim.Instr, i, del int, rep []sim.Instr) []sim.Instr {
+	out := make([]sim.Instr, 0, len(code)-del+len(rep))
+	out = append(out, code[:i]...)
+	out = append(out, rep...)
+	out = append(out, code[i+del:]...)
+	return out
+}

@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"extra/internal/codegen"
+	"extra/internal/hll"
+	"extra/internal/sim"
+)
+
+// compiled builds the generated code for one catalog binding's canonical
+// workload — the material the gadgets operate on.
+func compiled(t *testing.T, b *Binding) []sim.Instr {
+	t.Helper()
+	src, err := Workload(b.Class, workLen, canonicalData(workLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := hll.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := codegen.For(b.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tgt.Compile(prog, codegen.AllOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Code
+}
+
+// TestGadgetRoundTrip pins the inverse property on every applicable site of
+// every catalog binding: the partitioning and branch gadgets must collapse
+// back under Simplify (modulo the normal form — the original may itself
+// contain simplifiable pairs), and offset mutation and register swap must
+// be undone exactly by their Inverse sites.
+func TestGadgetRoundTrip(t *testing.T) {
+	for i := range Catalog {
+		b := &Catalog[i]
+		code := compiled(t, b)
+		norm, err := Simplify(b.Target, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites, err := Sites(b.Target, code, 0xffffffff, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sites) == 0 {
+			t.Errorf("%s: no gadget sites at all", b.Key)
+		}
+		for _, s := range sites {
+			nc, err := Apply(b.Target, code, s)
+			if err != nil {
+				t.Fatalf("%s %s: %v", b.Key, s.Desc(), err)
+			}
+			if len(nc) < len(code) {
+				t.Errorf("%s %s: expansion shrank the code", b.Key, s.Desc())
+			}
+			switch s.Gadget {
+			case ArithmeticPartitioning, LogicalPartitioning, LogicalInverse:
+				back, err := Simplify(b.Target, nc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !listingEqual(back, norm) {
+					t.Errorf("%s %s: simplify did not recover the normal form\nwant %v\ngot  %v",
+						b.Key, s.Desc(), listing(norm), listing(back))
+				}
+			case OffsetMutation, RegisterSwap:
+				inv, ok := Inverse(s)
+				if !ok {
+					t.Fatalf("%s: no inverse for %s", b.Key, s.Desc())
+				}
+				back, err := Apply(b.Target, nc, inv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !listingEqual(back, code) {
+					t.Errorf("%s %s: inverse did not recover the original", b.Key, s.Desc())
+				}
+			}
+		}
+	}
+}
+
+func listingEqual(a, b []sim.Instr) bool {
+	return strings.Join(listing(a), "\n") == strings.Join(listing(b), "\n")
+}
+
+// TestSimplifyIdempotent: the normal form is a fixpoint.
+func TestSimplifyIdempotent(t *testing.T) {
+	for i := range Catalog {
+		b := &Catalog[i]
+		code := compiled(t, b)
+		once, err := Simplify(b.Target, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := Simplify(b.Target, once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !listingEqual(once, twice) {
+			t.Errorf("%s: simplify is not idempotent", b.Key)
+		}
+	}
+}
+
+// TestSitesDeterministic: the same (code, mask, seed) enumerates the same
+// sites, and a different seed changes parameters but not site positions.
+func TestSitesDeterministic(t *testing.T) {
+	b := Find("VAX-11/movc3/sassign")
+	code := compiled(t, b)
+	s1, err := Sites(b.Target, code, 0xffffffff, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Sites(b.Target, code, 0xffffffff, 42)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("same seed enumerated different sites")
+	}
+	s3, _ := Sites(b.Target, code, 0xffffffff, 43)
+	if len(s3) != len(s1) {
+		t.Errorf("seed changed the site count: %d vs %d", len(s3), len(s1))
+	}
+	for i := range s1 {
+		if s1[i].Gadget != s3[i].Gadget || s1[i].Index != s3[i].Index {
+			t.Errorf("seed moved site %d: %s vs %s", i, s1[i].Desc(), s3[i].Desc())
+		}
+	}
+}
+
+// TestFlagLivenessRejectsLiveSites: a constant load whose successor reads a
+// flag the partition pair would clobber must not be a partitioning site.
+func TestFlagLivenessRejectsLiveSites(t *testing.T) {
+	// jb reads LF set by cmp; the mov in between must not become
+	// mov+sub (sub rewrites LF).
+	live := []sim.Instr{
+		sim.Ins("cmp", sim.R("ax"), sim.I(9)),
+		sim.Ins("mov", sim.R("bx"), sim.I(5)),
+		sim.Ins("jb", sim.L("less")),
+		sim.Ins("hlt"),
+		sim.Lbl("less"),
+		sim.Ins("hlt"),
+	}
+	sites, err := Sites("i8086", live, ArithmeticPartitioning, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if s.Index == 1 {
+			t.Errorf("partitioned a load with a live borrow flag: %s", s.Desc())
+		}
+	}
+	// With the branch gone the flags are dead and the site appears.
+	dead := []sim.Instr{
+		sim.Ins("cmp", sim.R("ax"), sim.I(9)),
+		sim.Ins("mov", sim.R("bx"), sim.I(5)),
+		sim.Ins("hlt"),
+	}
+	sites, err = Sites("i8086", dead, ArithmeticPartitioning, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sites {
+		if s.Index == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no partitioning site on a load with dead flags")
+	}
+}
+
+// TestOffsetMutationWindowSafety: the window must refuse loads whose
+// register escapes as a value or reaches an implicit use.
+func TestOffsetMutationWindowSafety(t *testing.T) {
+	cases := []struct {
+		name string
+		code []sim.Instr
+		want bool // site at index 0 expected?
+	}{
+		{"clean window", []sim.Instr{
+			sim.Ins("mov", sim.R("bx"), sim.I(1024)),
+			sim.Ins("movw", sim.M("bx"), sim.R("ax")),
+			sim.Ins("hlt"),
+		}, true},
+		{"value escape", []sim.Instr{
+			sim.Ins("mov", sim.R("bx"), sim.I(1024)),
+			sim.Ins("mov", sim.R("dx"), sim.R("bx")),
+			sim.Ins("hlt"),
+		}, false},
+		{"implicit use", []sim.Instr{
+			sim.Ins("mov", sim.R("bx"), sim.I(1024)),
+			sim.Ins("xlat"),
+			sim.Ins("hlt"),
+		}, false},
+		{"label join", []sim.Instr{
+			sim.Ins("mov", sim.R("bx"), sim.I(1024)),
+			sim.Lbl("join"),
+			sim.Ins("movw", sim.M("bx"), sim.R("ax")),
+			sim.Ins("hlt"),
+		}, false},
+		{"out escape", []sim.Instr{
+			sim.Ins("mov", sim.R("bx"), sim.I(1024)),
+			sim.Ins("out", sim.R("bx")),
+			sim.Ins("hlt"),
+		}, false},
+	}
+	for _, c := range cases {
+		sites, err := Sites("i8086", c.code, OffsetMutation, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := false
+		for _, s := range sites {
+			if s.Index == 0 {
+				got = true
+			}
+		}
+		if got != c.want {
+			t.Errorf("%s: offset-mutation site = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRegisterSwapAvoidsImplicit: a register an instruction uses by name
+// convention must be neither renamed nor chosen as the rename target.
+func TestRegisterSwapAvoidsImplicit(t *testing.T) {
+	code := []sim.Instr{
+		sim.Ins("mov", sim.R("si"), sim.I(0)),
+		sim.Ins("mov", sim.R("di"), sim.I(100)),
+		sim.Ins("mov", sim.R("cx"), sim.I(10)),
+		sim.Ins("rep_movsb"),
+		sim.Ins("hlt"),
+	}
+	sites, err := Sites("i8086", code, RegisterSwap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 0 {
+		t.Errorf("swapped a register rep_movsb uses implicitly: %v", sites[0].Desc())
+	}
+}
+
+func TestParseGadgets(t *testing.T) {
+	all, err := ParseGadgets("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Names()) != len(AllGadgets) {
+		t.Errorf("empty spec selected %v", all.Names())
+	}
+	two, err := ParseGadgets("register-swap, offset-mutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := two.Names(); !reflect.DeepEqual(got, []string{"offset-mutation", "register-swap"}) {
+		t.Errorf("parsed %v", got)
+	}
+	if _, err := ParseGadgets("frobnicate"); err == nil {
+		t.Error("unknown gadget accepted")
+	}
+}
